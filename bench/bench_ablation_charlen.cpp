@@ -1,0 +1,41 @@
+// Ablation: DTA characterization-kernel length. The paper uses 8 kCycles
+// of randomized operands per instruction. Short kernels under-sample the
+// arrival-time tails (the rare worst-case excitations), which moves the
+// apparent dynamic limits up and distorts the onset of the CDFs.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sfi;
+    bench::Context ctx(argc, argv, /*default_trials=*/1);
+
+    std::cout << "DTA kernel length vs dynamic limits (Vdd = 0.7 V)\n\n";
+    TextTable table({"cycles", "mul fmax [MHz]", "add fmax [MHz]",
+                     "cmp fmax [MHz]", "mul P(f=740MHz,b31)",
+                     "DTA time [s]"});
+    for (const std::size_t cycles : {512u, 2048u, 8192u, 32768u}) {
+        CoreModelConfig config = ctx.core_config;
+        config.dta.cycles = cycles;
+        config.cdf_cache_path.clear();
+        const auto t0 = std::chrono::steady_clock::now();
+        const CharacterizedCore core(config);
+        const double dt =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        const double window =
+            (1.0e6 / 740.0) / core.lib().fit().factor(0.7);
+        table.add_row({std::to_string(cycles),
+                       fmt_fixed(core.dynamic_fmax_mhz(ExClass::Mul, 0.7), 1),
+                       fmt_fixed(core.dynamic_fmax_mhz(ExClass::Add, 0.7), 1),
+                       fmt_fixed(core.dynamic_fmax_mhz(ExClass::Cmp, 0.7), 1),
+                       fmt_sci(core.cdfs()->violation_prob(ExClass::Mul, 31,
+                                                           window),
+                               3),
+                       fmt_fixed(dt, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nlonger kernels sample deeper into the arrival tail: the\n"
+                 "dynamic fmax estimates decrease monotonically and converge\n"
+                 "toward the true data-dependent limits.\n";
+    ctx.footer();
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --trials N       Monte-Carlo trials per data point (default varies)
+//   --dta-cycles N   DTA characterization kernel length (default 8192)
+//   --seed S         Monte-Carlo base seed
+//   --cache PATH     CDF cache file (default sfi_cdf_cache.bin in cwd)
+//   --csv-dir DIR    directory for CSV dumps (default bench_csv)
+//   --no-csv         disable CSV output
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "sfi/sfi.hpp"
+
+namespace sfi::bench {
+
+struct Context {
+    Cli cli;
+    CoreModelConfig core_config;
+    std::size_t trials;
+    std::uint64_t seed;
+    std::string csv_dir;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+
+    Context(int argc, char** argv, std::size_t default_trials)
+        : cli(argc, argv),
+          trials(static_cast<std::size_t>(
+              cli.get_int("trials", static_cast<std::int64_t>(default_trials)))),
+          seed(static_cast<std::uint64_t>(cli.get_int("seed", 1))) {
+        core_config.dta.cycles =
+            static_cast<std::size_t>(cli.get_int("dta-cycles", 8192));
+        core_config.cdf_cache_path = cli.get("cache", "sfi_cdf_cache.bin");
+        if (cli.get_bool("no-csv", false)) {
+            csv_dir.clear();
+        } else {
+            csv_dir = cli.get("csv-dir", "bench_csv");
+            std::filesystem::create_directories(csv_dir);
+        }
+    }
+
+    /// Builds the characterized core (prints a one-line summary).
+    CharacterizedCore make_core() const {
+        const auto t0 = std::chrono::steady_clock::now();
+        CharacterizedCore core(core_config);
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        std::cout << "[core] " << core.alu().netlist.cell_count()
+                  << " cells, f_STA(0.7 V) = " << fmt_fixed(core.sta_fmax_mhz(0.7), 1)
+                  << " MHz, DTA " << core_config.dta.cycles
+                  << " cycles/class, characterization " << fmt_fixed(dt, 1)
+                  << " s\n\n";
+        return core;
+    }
+
+    McConfig mc_config() const {
+        McConfig config;
+        config.trials = trials;
+        config.seed = seed;
+        return config;
+    }
+
+    std::string csv_path(const std::string& name) const {
+        return csv_dir.empty() ? std::string{} : csv_dir + "/" + name;
+    }
+
+    void footer() const {
+        const double dt =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        std::cout << "\n[done in " << fmt_fixed(dt, 1) << " s]\n";
+    }
+};
+
+/// Frequencies spanning [lo, hi] with roughly `points` samples.
+inline std::vector<double> span(double lo, double hi, std::size_t points) {
+    return linspace(lo, hi, points);
+}
+
+}  // namespace sfi::bench

@@ -1,0 +1,46 @@
+// Fig. 1 reproduction: performance and fault-injection rate of the median
+// benchmark under model B (STA-based) and model B+ (STA + supply noise),
+// in narrow frequency windows around each model's failure threshold.
+//
+// Expected shapes (paper §3.2/3.3): FI onset exactly at the threshold,
+// FI rate jumping to 10^2..10^4 per kCycle within ~1 MHz, and the
+// finished/correct probabilities collapsing from 100 % to 0 % with almost
+// no transition region. With noise the threshold moves well below the
+// STA limit (paper: 707 -> 661 -> 588 MHz for sigma = 0/10/25 mV) and the
+// onset rate drops to ~10 FI/kCycle.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sfi;
+    bench::Context ctx(argc, argv, /*default_trials=*/100);
+    const CharacterizedCore core = ctx.make_core();
+    const auto bench = make_benchmark(BenchmarkId::Median);
+
+    for (const double sigma : {0.0, 10.0, 25.0}) {
+        auto model = core.make_model_b();
+        OperatingPoint base;
+        base.vdd = 0.7;
+        base.noise.sigma_mv = sigma;
+        model->set_operating_point(base);
+        const double f0 = model->first_fault_frequency_mhz();
+
+        MonteCarloRunner runner(*bench, *model, ctx.mc_config());
+        const auto freqs = arange(f0 - 1.5, f0 + 3.5, 0.5);
+        const auto sweep = frequency_sweep(runner, base, freqs);
+
+        char title[160];
+        std::snprintf(title, sizeof title,
+                      "Fig. 1 model %s  (Vdd = 0.7 V, sigma = %.0f mV, "
+                      "threshold %.1f MHz, STA limit %.1f MHz)",
+                      model->name().c_str(), sigma, f0, core.sta_fmax_mhz(0.7));
+        std::cout << title << "\n";
+        print_sweep(std::cout, "", sweep, "rel. error %");
+        std::cout << "\n";
+
+        char csv_name[64];
+        std::snprintf(csv_name, sizeof csv_name, "fig1_sigma%.0f.csv", sigma);
+        write_sweep_csv(ctx.csv_path(csv_name), sweep);
+    }
+    ctx.footer();
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 2 reproduction: cumulative distribution functions of the timing
+// error probabilities extracted by DTA, for the l.add and l.mul
+// instructions, endpoints bit[3] and bit[24], at 0.7 V and 0.8 V.
+//
+// Expected shapes: mul starts failing at lower frequency than add for the
+// same endpoint/voltage; higher-significance bits fail earlier than
+// lower-significance ones; a higher supply voltage shifts every CDF to
+// the right.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sfi;
+    bench::Context ctx(argc, argv, /*default_trials=*/1);
+    const CharacterizedCore core = ctx.make_core();
+    const TimingErrorCdfs& cdfs = *core.cdfs();
+
+    struct Curve {
+        ExClass cls;
+        std::size_t bit;
+        double vdd;
+    };
+    const std::vector<Curve> curves = {
+        {ExClass::Add, 3, 0.7},  {ExClass::Add, 3, 0.8},
+        {ExClass::Add, 24, 0.7}, {ExClass::Add, 24, 0.8},
+        {ExClass::Mul, 3, 0.7},  {ExClass::Mul, 3, 0.8},
+        {ExClass::Mul, 24, 0.7}, {ExClass::Mul, 24, 0.8},
+    };
+
+    const auto freqs = linspace(600.0, 2400.0, 37);
+    std::vector<std::string> columns = {"f [MHz]"};
+    for (const Curve& c : curves) {
+        char label[48];
+        std::snprintf(label, sizeof label, "%s b%zu %.1fV",
+                      ex_class_name(c.cls), c.bit, c.vdd);
+        columns.push_back(label);
+    }
+    TextTable table(columns);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!ctx.csv_path("").empty()) {
+        csv = std::make_unique<CsvWriter>(ctx.csv_path("fig2_cdfs.csv"));
+        csv->header(columns);
+    }
+    for (const double f : freqs) {
+        std::vector<std::string> row = {fmt_fixed(f, 0)};
+        std::vector<double> csv_row = {f};
+        for (const Curve& c : curves) {
+            const double window =
+                (1.0e6 / f) / core.lib().fit().factor(c.vdd);
+            const double p = cdfs.violation_prob(c.cls, c.bit, window);
+            row.push_back(fmt_fixed(100.0 * p, 1) + "%");
+            csv_row.push_back(p);
+        }
+        table.add_row(row);
+        if (csv) csv->row(csv_row);
+    }
+    std::cout << "Fig. 2: timing-error-probability CDFs from DTA\n\n";
+    table.print(std::cout);
+
+    // Onset summary: frequency of first non-zero error probability.
+    std::cout << "\nfirst-failure frequencies (P > 0):\n";
+    for (const Curve& c : curves) {
+        const double window = cdfs.endpoint_max_window_ps(c.cls, c.bit);
+        const double f0 = 1.0e6 / (window * core.lib().fit().factor(c.vdd));
+        std::cout << "  " << ex_class_name(c.cls) << " bit[" << c.bit << "] @ "
+                  << fmt_fixed(c.vdd, 1) << " V : " << fmt_fixed(f0, 0)
+                  << " MHz\n";
+    }
+    ctx.footer();
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 3 is the block diagram of the model-C simulation flow. This bench
+// exercises every block of that diagram once and reports what flowed
+// through it: gate-level netlist -> dynamic timing analysis -> statistical
+// timings (CDFs) -> CDF scaling (frequency + voltage noise) -> per-cycle
+// timing error probabilities -> fault injection into the cycle-accurate
+// ISS's EX stage.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sfi;
+    bench::Context ctx(argc, argv, /*default_trials=*/1);
+    const CharacterizedCore core = ctx.make_core();
+
+    std::cout << "Fig. 3 walkthrough: statistical FI simulation pipeline\n\n";
+
+    // (1) gate-level netlist
+    const Netlist& netlist = core.alu().netlist;
+    std::cout << "[netlist]   " << netlist.cell_count() << " cells, depth "
+              << netlist.logic_depth() << ", endpoints "
+              << netlist.output_bus("y").size() << "\n";
+    for (const auto& [type, count] : netlist.type_histogram())
+        std::cout << "            " << type << " x" << count << "\n";
+
+    // (2) dynamic timing analysis -> statistical timings (CDFs)
+    const TimingErrorCdfs& cdfs = *core.cdfs();
+    std::cout << "[DTA/CDFs]  " << cdfs.samples_per_endpoint()
+              << " arrival samples per endpoint, setup "
+              << fmt_fixed(cdfs.setup_ps(), 1) << " ps\n";
+    for (const ExClass cls : Alu::instruction_classes())
+        std::cout << "            " << ex_class_name(cls)
+                  << ": dynamic f_max(0.7 V) = "
+                  << fmt_fixed(core.dynamic_fmax_mhz(cls, 0.7), 1) << " MHz\n";
+
+    // (3) CDF scaling factor from clock frequency + supply voltage noise
+    OperatingPoint point;
+    point.freq_mhz = 760.0;
+    point.vdd = 0.7;
+    point.noise.sigma_mv = 10.0;
+    const VddDelayFit& fit = core.lib().fit();
+    std::cout << "[scaling]   f = " << fmt_fixed(point.freq_mhz, 0)
+              << " MHz, Vdd = " << fmt_fixed(point.vdd, 2)
+              << " V, sigma = " << fmt_fixed(point.noise.sigma_mv, 0)
+              << " mV -> capture window "
+              << fmt_fixed(point.period_ps() / fit.factor(point.vdd), 1)
+              << " ps @ Vref (noise range "
+              << fmt_fixed(point.period_ps() / fit.factor(point.vdd - 0.02), 1)
+              << " .. "
+              << fmt_fixed(point.period_ps() / fit.factor(point.vdd + 0.02), 1)
+              << " ps)\n";
+
+    // (4) timing error probability evaluation for one instruction
+    const double window = point.period_ps() / fit.factor(point.vdd);
+    std::cout << "[P_E,V,I]   l.mul endpoint probabilities at this window:\n";
+    for (const std::size_t bit : {31, 24, 16, 8, 3})
+        std::cout << "            bit[" << bit << "] P = "
+                  << fmt_sci(cdfs.violation_prob(ExClass::Mul, bit, window), 3)
+                  << "\n";
+
+    // (5) fault injection into the ISS
+    auto model = core.make_model_c();
+    model->set_operating_point(point);
+    model->reseed(ctx.seed);
+    const auto bench = make_benchmark(BenchmarkId::MatMult8);
+    MonteCarloRunner runner(*bench, *model, ctx.mc_config());
+    const TrialOutcome outcome = runner.run_trial(point, 0);
+    std::cout << "[ISS]       " << bench->name() << ": "
+              << stop_reason_name(outcome.stop) << ", "
+              << outcome.kernel_cycles << " kernel cycles, "
+              << outcome.fi.alu_ops << " ALU ops offered, "
+              << outcome.fi.injections << " faults injected ("
+              << fmt_sci(outcome.fi.fi_per_kcycle(), 3) << " FI/kCycle)\n";
+    ctx.footer();
+    return 0;
+}

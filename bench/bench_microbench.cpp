@@ -1,0 +1,122 @@
+// Simulator micro-benchmarks (google-benchmark): throughput of the main
+// engines so performance regressions in the simulation stack are visible.
+#include <benchmark/benchmark.h>
+
+#include "sfi/sfi.hpp"
+
+namespace {
+
+using namespace sfi;
+
+const CharacterizedCore& micro_core() {
+    static const CharacterizedCore core = [] {
+        CoreModelConfig config;
+        config.dta.cycles = 512;  // startup cost only
+        return CharacterizedCore(config);
+    }();
+    return core;
+}
+
+void BM_IssMedianKernel(benchmark::State& state) {
+    const auto bench = make_benchmark(BenchmarkId::Median);
+    Memory memory;
+    Cpu cpu(memory);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        cpu.reset(bench->program());
+        const RunResult run = cpu.run();
+        instructions += run.instructions;
+        benchmark::DoNotOptimize(run.exit_code);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssMedianKernel)->Unit(benchmark::kMillisecond);
+
+void BM_IssWithModelC(benchmark::State& state) {
+    const auto bench = make_benchmark(BenchmarkId::Median);
+    auto model = micro_core().make_model_c();
+    OperatingPoint point;
+    point.freq_mhz = 760.0;
+    point.vdd = 0.7;
+    point.noise.sigma_mv = 10.0;
+    model->set_operating_point(point);
+    Memory memory;
+    Cpu cpu(memory);
+    cpu.set_fault_hook(model.get());
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        model->reseed(42);
+        cpu.reset(bench->program());
+        const RunResult run = cpu.run(2'000'000);
+        cycles += run.cycles;
+        benchmark::DoNotOptimize(run.cycles);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssWithModelC)->Unit(benchmark::kMillisecond);
+
+void BM_EventSimMulCycle(benchmark::State& state) {
+    const auto& core = micro_core();
+    EventSim sim(core.alu().netlist, core.timing(),
+                 {{"op", Alu::op_code(ExClass::Mul)}});
+    Rng rng(7);
+    sim.set_input("a", rng.u32());
+    sim.set_input("b", rng.u32());
+    sim.initialize();
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim.set_input("a", rng.u32());
+        sim.set_input("b", rng.u32());
+        benchmark::DoNotOptimize(sim.settle().data());
+    }
+    events = sim.total_events();
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventSimMulCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelCAluOp(benchmark::State& state) {
+    auto model = micro_core().make_model_c();
+    OperatingPoint point;
+    point.freq_mhz = 760.0;
+    point.vdd = 0.7;
+    point.noise.sigma_mv = 10.0;
+    model->set_operating_point(point);
+    model->reseed(3);
+    Rng rng(11);
+    ExEvent ev;
+    ev.cls = ExClass::Mul;
+    for (auto _ : state) {
+        model->on_cycle(true);
+        ev.operand_a = rng.u32();
+        ev.operand_b = rng.u32();
+        benchmark::DoNotOptimize(
+            model->on_ex_result(ev, ev.operand_a * ev.operand_b));
+    }
+}
+BENCHMARK(BM_ModelCAluOp);
+
+void BM_StaFullAlu(benchmark::State& state) {
+    const auto& core = micro_core();
+    for (auto _ : state) {
+        const StaResult sta = run_sta(core.alu().netlist, core.timing());
+        benchmark::DoNotOptimize(sta.worst_ps);
+    }
+}
+BENCHMARK(BM_StaFullAlu)->Unit(benchmark::kMillisecond);
+
+void BM_AssembleMedian(benchmark::State& state) {
+    const auto bench = make_benchmark(BenchmarkId::Median);
+    const std::string source = bench->asm_source();
+    for (auto _ : state) {
+        const Program program = assemble(source);
+        benchmark::DoNotOptimize(program.byte_size());
+    }
+}
+BENCHMARK(BM_AssembleMedian)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

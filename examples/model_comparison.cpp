@@ -1,0 +1,60 @@
+// Compares all four fault models (A, B, B+, C) on the same benchmark and
+// operating point — the paper's core argument in one run: purely random
+// FI (A) is blind to the operating point, STA-based FI (B/B+) is an
+// all-or-nothing threshold, and only the statistical model C resolves the
+// transition region.
+#include <iostream>
+
+#include "sfi/sfi.hpp"
+
+int main(int argc, char** argv) {
+    using namespace sfi;
+    const Cli cli(argc, argv);
+
+    CoreModelConfig config;
+    config.cdf_cache_path = "sfi_cdf_cache.bin";
+    CharacterizedCore core(config);
+
+    const auto bench = make_benchmark(BenchmarkId::Median);
+    const double fsta = core.sta_fmax_mhz(0.7);
+
+    McConfig mc;
+    mc.trials = static_cast<std::size_t>(cli.get_int("trials", 40));
+
+    OperatingPoint base;
+    base.vdd = 0.7;
+    base.noise.sigma_mv = cli.get_double("sigma", 10.0);
+
+    std::cout << "median benchmark, Vdd = 0.7 V, sigma = "
+              << fmt_fixed(base.noise.sigma_mv, 0)
+              << " mV; STA limit = " << fmt_fixed(fsta, 1) << " MHz\n\n";
+
+    TextTable table({"model", "f [MHz]", "finished", "correct", "FI/kCycle",
+                     "rel. error %"});
+    for (const double rel : {0.95, 1.00, 1.05, 1.10, 1.20}) {
+        const double f = fsta * rel;
+        // Model A's fixed probability has no physical link to f at all;
+        // we give it a rate that matches model C's FI rate at the STA
+        // limit so the comparison is as favorable as possible.
+        auto model_a = core.make_model_a(1e-5);
+        auto model_b = core.make_model_b();
+        auto model_c = core.make_model_c();
+        const std::vector<FaultModel*> models = {model_a.get(), model_b.get(),
+                                                 model_c.get()};
+        for (FaultModel* model : models) {
+            MonteCarloRunner runner(*bench, *model, mc);
+            OperatingPoint point = base;
+            point.freq_mhz = f;
+            const PointSummary s = runner.run_point(point);
+            table.add_row({model->name(), fmt_fixed(f, 1),
+                           fmt_pct(s.finished_frac()), fmt_pct(s.correct_frac()),
+                           fmt_sci(s.fi_rate, 3),
+                           s.finished_count ? fmt_fixed(s.mean_error, 2) : "n/a"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nNote how A is identical at every frequency, B/B+ jump "
+                 "from perfect to dead,\nand C resolves a usable transition "
+                 "region (the paper's contribution).\n";
+    return 0;
+}

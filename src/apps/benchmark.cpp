@@ -1,0 +1,56 @@
+#include "apps/benchmark.hpp"
+
+#include <stdexcept>
+
+namespace sfi {
+
+const char* benchmark_name(BenchmarkId id) {
+    switch (id) {
+        case BenchmarkId::Median: return "median";
+        case BenchmarkId::MatMult8: return "mat_mult_8bit";
+        case BenchmarkId::MatMult16: return "mat_mult_16bit";
+        case BenchmarkId::KMeans: return "kmeans";
+        case BenchmarkId::Dijkstra: return "dijkstra";
+    }
+    return "?";
+}
+
+const std::vector<BenchmarkId>& all_benchmarks() {
+    static const std::vector<BenchmarkId> ids = {
+        BenchmarkId::Median, BenchmarkId::MatMult8, BenchmarkId::MatMult16,
+        BenchmarkId::KMeans, BenchmarkId::Dijkstra};
+    return ids;
+}
+
+const std::string& Benchmark::asm_source() const {
+    if (asm_cache_.empty()) asm_cache_ = generate_asm();
+    return asm_cache_;
+}
+
+const Program& Benchmark::program() const {
+    if (!program_cache_)
+        program_cache_ = std::make_unique<Program>(assemble(asm_source()));
+    return *program_cache_;
+}
+
+std::vector<std::uint32_t> Benchmark::read_output(const Memory& memory) const {
+    const std::uint32_t base = program().symbol("out");
+    const std::size_t words = golden_output().size();
+    std::vector<std::uint32_t> output(words);
+    for (std::size_t i = 0; i < words; ++i)
+        output[i] = memory.read_u32(base + static_cast<std::uint32_t>(i) * 4);
+    return output;
+}
+
+std::unique_ptr<Benchmark> make_benchmark(BenchmarkId id, std::uint64_t seed) {
+    switch (id) {
+        case BenchmarkId::Median: return make_median(seed);
+        case BenchmarkId::MatMult8: return make_mat_mult(seed, 8);
+        case BenchmarkId::MatMult16: return make_mat_mult(seed, 16);
+        case BenchmarkId::KMeans: return make_kmeans(seed);
+        case BenchmarkId::Dijkstra: return make_dijkstra(seed);
+    }
+    throw std::invalid_argument("make_benchmark: bad id");
+}
+
+}  // namespace sfi

@@ -1,0 +1,95 @@
+// The four application kernels of the paper's evaluation (Table 1),
+// hand-written in the ORBIS32 subset and assembled by src/isa.
+//
+//   median        sorting      (control +,  compute -)   129 values
+//   mat_mult      arithmetic   (control -,  compute ++)  16x16, 8/16-bit
+//   k-means       data mining  (control +,  compute +)   8 points, 2-D, k=2
+//   dijkstra      graph search (control ++, compute -)   10 nodes, all pairs
+//
+// Each benchmark embeds its (seeded, reproducible) input data as .word
+// blocks, wraps its kernel in l.nop kernel-begin/end markers so fault
+// injection only covers the characteristic code (paper §2.2), writes its
+// result to the `out` symbol, and reports the paper's per-benchmark output
+// error metric. Golden outputs are computed by bit-exact C++ replicas of
+// the integer algorithms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/memory.hpp"
+#include "isa/assembler.hpp"
+
+namespace sfi {
+
+enum class BenchmarkId : std::uint8_t {
+    Median,
+    MatMult8,
+    MatMult16,
+    KMeans,
+    Dijkstra,
+};
+
+const char* benchmark_name(BenchmarkId id);
+const std::vector<BenchmarkId>& all_benchmarks();
+
+class Benchmark {
+public:
+    virtual ~Benchmark() = default;
+
+    const std::string& name() const { return name_; }
+
+    /// Row of the paper's Table 1.
+    struct Table1Row {
+        std::string type;
+        std::string compute;  // "-", "+", "++"
+        std::string control;
+        std::string size;
+        std::string error_metric;
+    };
+    virtual Table1Row table1_row() const = 0;
+
+    /// Generated assembly (with embedded data); cached.
+    const std::string& asm_source() const;
+    /// Assembled program; cached.
+    const Program& program() const;
+
+    /// Expected output of a fault-free run.
+    virtual std::vector<std::uint32_t> golden_output() const = 0;
+
+    /// Reads the output buffer (symbol "out") after a run.
+    std::vector<std::uint32_t> read_output(const Memory& memory) const;
+
+    /// The paper's output-error metric for this benchmark, evaluated
+    /// against the golden output. Units depend on the benchmark
+    /// (relative %, MSE, % mismatching points/pairs).
+    virtual double output_error(const std::vector<std::uint32_t>& output) const = 0;
+    virtual std::string error_unit() const = 0;
+
+protected:
+    explicit Benchmark(std::string name) : name_(std::move(name)) {}
+    virtual std::string generate_asm() const = 0;
+
+private:
+    std::string name_;
+    mutable std::string asm_cache_;
+    mutable std::unique_ptr<Program> program_cache_;
+};
+
+/// Factory. `seed` controls the generated input data (default: the seed
+/// used for all committed experiment numbers).
+std::unique_ptr<Benchmark> make_benchmark(BenchmarkId id,
+                                          std::uint64_t seed = 42);
+
+// Direct factories with benchmark-specific knobs (used by tests).
+std::unique_ptr<Benchmark> make_median(std::uint64_t seed, std::size_t count = 129);
+std::unique_ptr<Benchmark> make_mat_mult(std::uint64_t seed, unsigned value_bits,
+                                         std::size_t dim = 16);
+std::unique_ptr<Benchmark> make_kmeans(std::uint64_t seed, std::size_t points = 8,
+                                       std::size_t clusters = 2,
+                                       std::size_t iterations = 32);
+std::unique_ptr<Benchmark> make_dijkstra(std::uint64_t seed, std::size_t nodes = 10);
+
+}  // namespace sfi

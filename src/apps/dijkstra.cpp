@@ -1,0 +1,202 @@
+// dijkstra benchmark: all-pairs shortest paths on a small directed graph
+// via repeated O(V^2) Dijkstra (one run per source). Graph-search kernel:
+// control-dominated (scans, comparisons, branches), no multiplications.
+#include <sstream>
+
+#include "apps/benchmark.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+
+namespace {
+
+constexpr std::uint32_t kInf = 0x3fffffffu;  // far below overflow on relax
+
+class DijkstraBenchmark final : public Benchmark {
+public:
+    DijkstraBenchmark(std::uint64_t seed, std::size_t nodes)
+        : Benchmark("dijkstra"), n_(nodes) {
+        Rng rng(seed ^ 0x64696a6bULL);
+        adj_.assign(n_ * n_, 0);
+        // Ring edges guarantee strong connectivity; extra random edges
+        // give the search real work.
+        for (std::size_t i = 0; i < n_; ++i)
+            adj_[i * n_ + (i + 1) % n_] = 1 + static_cast<std::uint32_t>(rng.bounded(20));
+        for (std::size_t i = 0; i < n_; ++i)
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (i == j || adj_[i * n_ + j] != 0) continue;
+                if (rng.chance(0.4))
+                    adj_[i * n_ + j] = 1 + static_cast<std::uint32_t>(rng.bounded(20));
+            }
+    }
+
+    Table1Row table1_row() const override {
+        return {"graph search", "-", "++", std::to_string(n_) + " nodes",
+                "mismatch in min. distance"};
+    }
+
+    /// Bit-exact replica of the guest algorithm (lowest-index strict-min
+    /// extraction, 0 = no edge).
+    std::vector<std::uint32_t> golden_output() const override {
+        std::vector<std::uint32_t> all(n_ * n_, kInf);
+        for (std::size_t s = 0; s < n_; ++s) {
+            std::vector<std::uint32_t> dist(n_, kInf);
+            std::vector<bool> visited(n_, false);
+            dist[s] = 0;
+            for (std::size_t iter = 0; iter < n_; ++iter) {
+                std::uint32_t best = kInf;
+                std::size_t u = n_;
+                for (std::size_t v = 0; v < n_; ++v)
+                    if (!visited[v] && dist[v] < best) {
+                        best = dist[v];
+                        u = v;
+                    }
+                if (u == n_) break;
+                visited[u] = true;
+                for (std::size_t v = 0; v < n_; ++v) {
+                    const std::uint32_t w = adj_[u * n_ + v];
+                    if (w == 0) continue;
+                    const std::uint32_t nd = dist[u] + w;
+                    if (nd < dist[v]) dist[v] = nd;
+                }
+            }
+            for (std::size_t v = 0; v < n_; ++v) all[s * n_ + v] = dist[v];
+        }
+        return all;
+    }
+
+    double output_error(const std::vector<std::uint32_t>& output) const override {
+        const std::vector<std::uint32_t> golden = golden_output();
+        std::size_t wrong = 0;
+        for (std::size_t i = 0; i < golden.size(); ++i)
+            if (output.at(i) != golden[i]) ++wrong;
+        return 100.0 * static_cast<double>(wrong) /
+               static_cast<double>(golden.size());
+    }
+
+    std::string error_unit() const override {
+        return "% node pairs w/ min. distance errors";
+    }
+
+protected:
+    std::string generate_asm() const override {
+        const std::size_t row_bytes = n_ * 4;
+        std::ostringstream os;
+        os << "# dijkstra: all-pairs shortest paths, " << n_
+           << " nodes (generated)\n";
+        os << ".entry _start\n";
+        os << "_start:\n";
+        os << "  l.movhi r16,hi(adj)\n  l.ori r16,r16,lo(adj)\n";
+        os << "  l.movhi r18,hi(visited)\n  l.ori r18,r18,lo(visited)\n";
+        os << "  l.movhi r20,hi(out)\n  l.ori r20,r20,lo(out)\n";
+        os << "  l.movhi r27," << (kInf >> 16) << "\n";
+        os << "  l.ori   r27,r27," << (kInf & 0xffffu) << "   # INF\n";
+        os << "  l.nop   0x10              # kernel begin\n";
+        os << "  l.addi  r26,r0,0          # s = source index\n";
+        os << "source_loop:\n";
+        // dist row pointer r17 = out + s*row_bytes (row_bytes = n*4,
+        // composed from shifts to keep the kernel multiplier-free).
+        emit_mul_const(os, "r2", "r26", row_bytes);
+        os << "  l.add   r17,r20,r2\n";
+        os << "  l.addi  r6,r0,0\n";
+        os << "init_loop:\n";
+        os << "  l.slli  r2,r6,2\n";
+        os << "  l.add   r14,r17,r2\n  l.sw 0(r14),r27    # dist[v] = INF\n";
+        os << "  l.add   r14,r18,r2\n  l.sw 0(r14),r0     # visited[v] = 0\n";
+        os << "  l.addi  r6,r6,1\n";
+        os << "  l.sfeqi r6," << n_ << "\n";
+        os << "  l.bnf   init_loop\n";
+        os << "  l.slli  r2,r26,2\n";
+        os << "  l.add   r14,r17,r2\n  l.sw 0(r14),r0     # dist[s] = 0\n";
+        os << "  l.addi  r24,r0," << n_ << "  # main iterations\n";
+        os << "dij_iter:\n";
+        os << "  l.ori   r12,r27,0         # best = INF\n";
+        os << "  l.addi  r13,r0,-1         # u = -1\n";
+        os << "  l.addi  r6,r0,0\n";
+        os << "find_loop:\n";
+        os << "  l.slli  r2,r6,2\n";
+        os << "  l.add   r14,r18,r2\n  l.lwz r10,0(r14)   # visited[v]\n";
+        os << "  l.sfnei r10,0\n";
+        os << "  l.bf    find_next\n";
+        os << "  l.add   r14,r17,r2\n  l.lwz r10,0(r14)   # dist[v]\n";
+        os << "  l.sfltu r10,r12\n";
+        os << "  l.bnf   find_next\n";
+        os << "  l.ori   r12,r10,0\n";
+        os << "  l.ori   r13,r6,0\n";
+        os << "find_next:\n";
+        os << "  l.addi  r6,r6,1\n";
+        os << "  l.sfeqi r6," << n_ << "\n";
+        os << "  l.bnf   find_loop\n";
+        os << "  l.sfeqi r13,-1\n";
+        os << "  l.bf    dij_done\n";
+        os << "  l.slli  r2,r13,2\n";
+        os << "  l.addi  r10,r0,1\n";
+        os << "  l.add   r14,r18,r2\n  l.sw 0(r14),r10    # visited[u] = 1\n";
+        emit_mul_const(os, "r15", "r13", row_bytes);
+        os << "  l.add   r15,r16,r15       # adj row of u\n";
+        os << "  l.slli  r2,r13,2\n";
+        os << "  l.add   r14,r17,r2\n  l.lwz r11,0(r14)   # du = dist[u]\n";
+        os << "  l.addi  r6,r0,0\n";
+        os << "relax_loop:\n";
+        os << "  l.slli  r2,r6,2\n";
+        os << "  l.add   r14,r15,r2\n  l.lwz r10,0(r14)   # w = adj[u][v]\n";
+        os << "  l.sfeqi r10,0\n";
+        os << "  l.bf    relax_next\n";
+        os << "  l.add   r10,r10,r11       # nd = du + w\n";
+        os << "  l.add   r14,r17,r2\n  l.lwz r12,0(r14)   # dist[v]\n";
+        os << "  l.sfltu r10,r12\n";
+        os << "  l.bnf   relax_next\n";
+        os << "  l.sw    0(r14),r10\n";
+        os << "relax_next:\n";
+        os << "  l.addi  r6,r6,1\n";
+        os << "  l.sfeqi r6," << n_ << "\n";
+        os << "  l.bnf   relax_loop\n";
+        os << "  l.addi  r24,r24,-1\n";
+        os << "  l.sfnei r24,0\n";
+        os << "  l.bf    dij_iter\n";
+        os << "dij_done:\n";
+        os << "  l.addi  r26,r26,1\n";
+        os << "  l.sfeqi r26," << n_ << "\n";
+        os << "  l.bnf   source_loop\n";
+        os << "  l.nop   0x11              # kernel end\n";
+        os << "  l.addi  r3,r0,0\n";
+        os << "  l.nop   0x1               # exit\n";
+        os << ".org 0x8000\n";
+        os << "adj:\n";
+        for (std::uint32_t v : adj_) os << "  .word " << v << "\n";
+        os << "visited:\n  .space " << n_ * 4 << "\n";
+        os << "out:\n  .space " << n_ * n_ * 4 << "\n";
+        return os.str();
+    }
+
+private:
+    /// Emits dst = src * constant using shift/add only (the paper's
+    /// Dijkstra kernel is compute "-": no multiplier activity).
+    static void emit_mul_const(std::ostringstream& os, const char* dst,
+                               const char* src, std::size_t constant) {
+        bool first = true;
+        for (unsigned bit = 0; bit < 31; ++bit) {
+            if (!(constant & (std::size_t{1} << bit))) continue;
+            if (first) {
+                os << "  l.slli  " << dst << "," << src << "," << bit << "\n";
+                first = false;
+            } else {
+                os << "  l.slli  r3," << src << "," << bit << "\n";
+                os << "  l.add   " << dst << "," << dst << ",r3\n";
+            }
+        }
+        if (first) os << "  l.addi  " << dst << ",r0,0\n";
+    }
+
+    std::size_t n_;
+    std::vector<std::uint32_t> adj_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_dijkstra(std::uint64_t seed, std::size_t nodes) {
+    if (nodes < 2) throw std::invalid_argument("dijkstra: need >= 2 nodes");
+    return std::make_unique<DijkstraBenchmark>(seed, nodes);
+}
+
+}  // namespace sfi

@@ -1,0 +1,235 @@
+// k-means benchmark: 2-D integer k-means clustering (fixed iteration
+// count, software restoring division for the centroid means). Data-mining
+// kernel: mixed compute (distance multiplies) and control (assignment
+// scan, division loop).
+#include <sstream>
+
+#include "apps/benchmark.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+
+namespace {
+
+class KMeansBenchmark final : public Benchmark {
+public:
+    KMeansBenchmark(std::uint64_t seed, std::size_t points, std::size_t clusters,
+                    std::size_t iterations)
+        : Benchmark("kmeans"), n_(points), k_(clusters), iters_(iterations) {
+        Rng rng(seed ^ 0x6b6d656eULL);
+        px_.resize(n_);
+        py_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            px_[i] = static_cast<std::uint32_t>(rng.bounded(1024));
+            py_[i] = static_cast<std::uint32_t>(rng.bounded(1024));
+        }
+    }
+
+    Table1Row table1_row() const override {
+        return {"data mining", "+", "+",
+                std::to_string(n_) + " points (2D)", "cluster membership"};
+    }
+
+    /// Bit-exact replica of the guest algorithm (integer arithmetic,
+    /// truncating division, first-cluster tie-breaking).
+    std::vector<std::uint32_t> golden_output() const override {
+        std::vector<std::uint32_t> cx(k_), cy(k_), assign(n_, 0);
+        for (std::size_t c = 0; c < k_; ++c) {  // centroids start at first k points
+            cx[c] = px_[c];
+            cy[c] = py_[c];
+        }
+        for (std::size_t it = 0; it < iters_; ++it) {
+            for (std::size_t i = 0; i < n_; ++i) {
+                std::uint32_t best_d = 0x7fffffffu, best_c = 0;
+                for (std::size_t c = 0; c < k_; ++c) {
+                    const std::uint32_t dx = px_[i] - cx[c];
+                    const std::uint32_t dy = py_[i] - cy[c];
+                    const std::uint32_t d = dx * dx + dy * dy;
+                    if (d < best_d) {
+                        best_d = d;
+                        best_c = static_cast<std::uint32_t>(c);
+                    }
+                }
+                assign[i] = best_c;
+            }
+            std::vector<std::uint32_t> sx(k_, 0), sy(k_, 0), cnt(k_, 0);
+            for (std::size_t i = 0; i < n_; ++i) {
+                sx[assign[i]] += px_[i];
+                sy[assign[i]] += py_[i];
+                ++cnt[assign[i]];
+            }
+            for (std::size_t c = 0; c < k_; ++c) {
+                if (cnt[c] == 0) continue;
+                cx[c] = sx[c] / cnt[c];
+                cy[c] = sy[c] / cnt[c];
+            }
+        }
+        return assign;
+    }
+
+    double output_error(const std::vector<std::uint32_t>& output) const override {
+        const std::vector<std::uint32_t> golden = golden_output();
+        std::size_t wrong = 0;
+        for (std::size_t i = 0; i < golden.size(); ++i)
+            if (output.at(i) != golden[i]) ++wrong;
+        return 100.0 * static_cast<double>(wrong) /
+               static_cast<double>(golden.size());
+    }
+
+    std::string error_unit() const override { return "% points w/ clustering errors"; }
+
+protected:
+    std::string generate_asm() const override {
+        std::ostringstream os;
+        os << "# kmeans: " << n_ << " 2-D points, k=" << k_ << ", " << iters_
+           << " iterations (generated)\n";
+        os << ".entry _start\n";
+        os << "_start:\n";
+        os << "  l.movhi r16,hi(px)\n  l.ori r16,r16,lo(px)\n";
+        os << "  l.movhi r17,hi(py)\n  l.ori r17,r17,lo(py)\n";
+        os << "  l.movhi r18,hi(cx)\n  l.ori r18,r18,lo(cx)\n";
+        os << "  l.movhi r19,hi(cy)\n  l.ori r19,r19,lo(cy)\n";
+        os << "  l.movhi r20,hi(out)\n  l.ori r20,r20,lo(out)\n";
+        os << "  l.movhi r21,hi(sx)\n  l.ori r21,r21,lo(sx)\n";
+        os << "  l.movhi r22,hi(sy)\n  l.ori r22,r22,lo(sy)\n";
+        os << "  l.movhi r23,hi(cnt)\n  l.ori r23,r23,lo(cnt)\n";
+        os << "  l.nop   0x10              # kernel begin\n";
+        os << "  l.addi  r24,r0," << iters_ << "\n";
+        os << "iter_loop:\n";
+        // ---- assignment phase
+        os << "  l.addi  r6,r0,0\n";
+        os << "assign_loop:\n";
+        os << "  l.slli  r2,r6,2\n";
+        os << "  l.add   r10,r16,r2\n  l.lwz r10,0(r10)   # px[i]\n";
+        os << "  l.add   r11,r17,r2\n  l.lwz r11,0(r11)   # py[i]\n";
+        os << "  l.movhi r12,0x7fff\n  l.ori r12,r12,0xffff  # best_d\n";
+        os << "  l.addi  r13,r0,0          # best_c\n";
+        os << "  l.addi  r7,r0,0           # c\n";
+        os << "cluster_loop:\n";
+        os << "  l.slli  r2,r7,2\n";
+        os << "  l.add   r14,r18,r2\n  l.lwz r14,0(r14)   # cx[c]\n";
+        os << "  l.add   r15,r19,r2\n  l.lwz r15,0(r15)   # cy[c]\n";
+        os << "  l.sub   r14,r10,r14\n";
+        os << "  l.sub   r15,r11,r15\n";
+        os << "  l.mul   r14,r14,r14\n";
+        os << "  l.mul   r15,r15,r15\n";
+        os << "  l.add   r14,r14,r15       # d\n";
+        os << "  l.sfltu r14,r12\n";
+        os << "  l.bnf   no_better\n";
+        os << "  l.ori   r12,r14,0\n";
+        os << "  l.ori   r13,r7,0\n";
+        os << "no_better:\n";
+        os << "  l.addi  r7,r7,1\n";
+        os << "  l.sfeqi r7," << k_ << "\n";
+        os << "  l.bnf   cluster_loop\n";
+        os << "  l.slli  r2,r6,2\n";
+        os << "  l.add   r14,r20,r2\n";
+        os << "  l.sw    0(r14),r13        # assign[i]\n";
+        os << "  l.addi  r6,r6,1\n";
+        os << "  l.sfeqi r6," << n_ << "\n";
+        os << "  l.bnf   assign_loop\n";
+        // ---- update phase: clear accumulators
+        os << "  l.addi  r7,r0,0\n";
+        os << "clear_loop:\n";
+        os << "  l.slli  r2,r7,2\n";
+        os << "  l.add   r14,r21,r2\n  l.sw 0(r14),r0\n";
+        os << "  l.add   r14,r22,r2\n  l.sw 0(r14),r0\n";
+        os << "  l.add   r14,r23,r2\n  l.sw 0(r14),r0\n";
+        os << "  l.addi  r7,r7,1\n";
+        os << "  l.sfeqi r7," << k_ << "\n";
+        os << "  l.bnf   clear_loop\n";
+        // accumulate
+        os << "  l.addi  r6,r0,0\n";
+        os << "accum_loop:\n";
+        os << "  l.slli  r2,r6,2\n";
+        os << "  l.add   r14,r20,r2\n  l.lwz r14,0(r14)   # c = assign[i]\n";
+        os << "  l.slli  r14,r14,2\n";
+        os << "  l.add   r15,r21,r14\n  l.lwz r12,0(r15)\n";
+        os << "  l.add   r10,r16,r2\n  l.lwz r10,0(r10)\n";
+        os << "  l.add   r12,r12,r10\n  l.sw 0(r15),r12   # sx[c] += px[i]\n";
+        os << "  l.add   r15,r22,r14\n  l.lwz r12,0(r15)\n";
+        os << "  l.add   r10,r17,r2\n  l.lwz r10,0(r10)\n";
+        os << "  l.add   r12,r12,r10\n  l.sw 0(r15),r12   # sy[c] += py[i]\n";
+        os << "  l.add   r15,r23,r14\n  l.lwz r12,0(r15)\n";
+        os << "  l.addi  r12,r12,1\n  l.sw 0(r15),r12     # cnt[c]++\n";
+        os << "  l.addi  r6,r6,1\n";
+        os << "  l.sfeqi r6," << n_ << "\n";
+        os << "  l.bnf   accum_loop\n";
+        // recompute centroids
+        os << "  l.addi  r7,r0,0\n";
+        os << "update_loop:\n";
+        os << "  l.slli  r2,r7,2\n";
+        os << "  l.add   r14,r23,r2\n  l.lwz r11,0(r14)   # cnt[c]\n";
+        os << "  l.sfeqi r11,0\n";
+        os << "  l.bf    skip_update\n";
+        os << "  l.add   r14,r21,r2\n  l.lwz r10,0(r14)   # sx[c]\n";
+        os << "  l.jal   udiv\n";
+        os << "  l.add   r14,r18,r2\n  l.sw 0(r14),r12    # cx[c]\n";
+        os << "  l.add   r14,r22,r2\n  l.lwz r10,0(r14)   # sy[c]\n";
+        os << "  l.jal   udiv\n";
+        os << "  l.add   r14,r19,r2\n  l.sw 0(r14),r12    # cy[c]\n";
+        os << "skip_update:\n";
+        os << "  l.addi  r7,r7,1\n";
+        os << "  l.sfeqi r7," << k_ << "\n";
+        os << "  l.bnf   update_loop\n";
+        os << "  l.addi  r24,r24,-1\n";
+        os << "  l.sfnei r24,0\n";
+        os << "  l.bf    iter_loop\n";
+        os << "  l.nop   0x11              # kernel end\n";
+        os << "  l.addi  r3,r0,0\n";
+        os << "  l.nop   0x1               # exit\n";
+        // restoring unsigned division: r12 = r10 / r11 (clobbers r13,r15,r25)
+        os << "udiv:\n";
+        os << "  l.addi  r12,r0,0\n";
+        os << "  l.addi  r13,r0,0\n";
+        os << "  l.addi  r25,r0,32\n";
+        os << "udiv_loop:\n";
+        os << "  l.slli  r13,r13,1\n";
+        os << "  l.srli  r15,r10,31\n";
+        os << "  l.or    r13,r13,r15\n";
+        os << "  l.slli  r10,r10,1\n";
+        os << "  l.slli  r12,r12,1\n";
+        os << "  l.sfgeu r13,r11\n";
+        os << "  l.bnf   udiv_skip\n";
+        os << "  l.sub   r13,r13,r11\n";
+        os << "  l.ori   r12,r12,1\n";
+        os << "udiv_skip:\n";
+        os << "  l.addi  r25,r25,-1\n";
+        os << "  l.sfnei r25,0\n";
+        os << "  l.bf    udiv_loop\n";
+        os << "  l.jr    r9\n";
+        os << ".org 0x8000\n";
+        auto emit = [&](const char* label, const std::vector<std::uint32_t>& data) {
+            os << label << ":\n";
+            for (std::uint32_t v : data) os << "  .word " << v << "\n";
+        };
+        emit("px", px_);
+        emit("py", py_);
+        // Centroids are initialized to the first k points at load time.
+        os << "cx:\n";
+        for (std::size_t c = 0; c < k_; ++c) os << "  .word " << px_[c] << "\n";
+        os << "cy:\n";
+        for (std::size_t c = 0; c < k_; ++c) os << "  .word " << py_[c] << "\n";
+        os << "sx:\n  .space " << k_ * 4 << "\n";
+        os << "sy:\n  .space " << k_ * 4 << "\n";
+        os << "cnt:\n  .space " << k_ * 4 << "\n";
+        os << "out:\n  .space " << n_ * 4 << "\n";
+        return os.str();
+    }
+
+private:
+    std::size_t n_, k_, iters_;
+    std::vector<std::uint32_t> px_, py_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_kmeans(std::uint64_t seed, std::size_t points,
+                                       std::size_t clusters,
+                                       std::size_t iterations) {
+    if (clusters == 0 || points < clusters)
+        throw std::invalid_argument("kmeans: need at least as many points as clusters");
+    return std::make_unique<KMeansBenchmark>(seed, points, clusters, iterations);
+}
+
+}  // namespace sfi

@@ -1,0 +1,99 @@
+// median benchmark: full bubble sort of 129 values, output = middle
+// element. Sorting-type kernel: control-dominated, no multiplications.
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "apps/benchmark.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+
+namespace {
+
+class MedianBenchmark final : public Benchmark {
+public:
+    MedianBenchmark(std::uint64_t seed, std::size_t count)
+        : Benchmark("median"), count_(count) {
+        Rng rng(seed ^ 0x6d656469ULL);
+        values_.resize(count_);
+        for (auto& v : values_)
+            v = 1 + static_cast<std::uint32_t>(rng.bounded(65535));  // 16-bit, non-zero
+    }
+
+    Table1Row table1_row() const override {
+        return {"sorting", "-", "+", std::to_string(count_) + " values",
+                "relative difference"};
+    }
+
+    std::vector<std::uint32_t> golden_output() const override {
+        std::vector<std::uint32_t> sorted = values_;
+        std::sort(sorted.begin(), sorted.end());
+        return {sorted[count_ / 2]};
+    }
+
+    double output_error(const std::vector<std::uint32_t>& output) const override {
+        const double golden = static_cast<double>(golden_output()[0]);
+        const double got = static_cast<double>(output.at(0));
+        const double rel = std::abs(got - golden) / golden * 100.0;
+        return std::min(rel, 100.0);  // paper's relative-error axis saturates
+    }
+
+    std::string error_unit() const override { return "relative error %"; }
+
+protected:
+    std::string generate_asm() const override {
+        std::ostringstream os;
+        os << "# median: bubble sort of " << count_ << " values (generated)\n";
+        os << ".entry _start\n";
+        os << "_start:\n";
+        os << "  l.movhi r4,hi(data)\n";
+        os << "  l.ori   r4,r4,lo(data)\n";
+        os << "  l.addi  r6,r0," << (count_ - 1) << "\n";  // i = n-1
+        os << "  l.nop   0x10              # kernel begin\n";
+        os << "loop_i:\n";
+        os << "  l.addi  r7,r0,0           # j = 0\n";
+        os << "  l.ori   r8,r4,0           # p = data\n";
+        os << "loop_j:\n";
+        os << "  l.lwz   r10,0(r8)\n";
+        os << "  l.lwz   r11,4(r8)\n";
+        os << "  l.sfgtu r10,r11\n";
+        os << "  l.bnf   noswap\n";
+        os << "  l.sw    0(r8),r11\n";
+        os << "  l.sw    4(r8),r10\n";
+        os << "noswap:\n";
+        os << "  l.addi  r8,r8,4\n";
+        os << "  l.addi  r7,r7,1\n";
+        os << "  l.sflts r7,r6\n";
+        os << "  l.bf    loop_j\n";
+        os << "  l.addi  r6,r6,-1\n";
+        os << "  l.sfgtsi r6,0\n";
+        os << "  l.bf    loop_i\n";
+        os << "  l.nop   0x11              # kernel end\n";
+        os << "  l.lwz   r12," << (count_ / 2) * 4 << "(r4)\n";
+        os << "  l.movhi r5,hi(out)\n";
+        os << "  l.ori   r5,r5,lo(out)\n";
+        os << "  l.sw    0(r5),r12\n";
+        os << "  l.addi  r3,r0,0\n";
+        os << "  l.nop   0x1               # exit\n";
+        os << ".org 0x8000\n";
+        os << "data:\n";
+        for (std::uint32_t v : values_) os << "  .word " << v << "\n";
+        os << "out:\n  .word 0\n";
+        return os.str();
+    }
+
+private:
+    std::size_t count_;
+    std::vector<std::uint32_t> values_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_median(std::uint64_t seed, std::size_t count) {
+    if (count < 3 || count % 2 == 0)
+        throw std::invalid_argument("median: count must be odd and >= 3");
+    return std::make_unique<MedianBenchmark>(seed, count);
+}
+
+}  // namespace sfi

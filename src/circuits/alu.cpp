@@ -1,0 +1,288 @@
+#include "circuits/alu.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sfi {
+
+namespace {
+
+using Bus = std::vector<NetId>;
+
+Bus make_inputs(Netlist& n, const std::string& bus, std::size_t width) {
+    Bus nets(width);
+    for (std::size_t i = 0; i < width; ++i) nets[i] = n.add_input(bus, i);
+    return nets;
+}
+
+/// Full adder: sum = a ^ b ^ cin, cout = ab + cin(a ^ b). Five cells.
+std::pair<NetId, NetId> full_adder(Netlist& n, NetId a, NetId b, NetId cin) {
+    const NetId axb = n.xor2(a, b);
+    const NetId sum = n.xor2(axb, cin);
+    const NetId cout = n.or2(n.and2(a, b), n.and2(axb, cin));
+    return {sum, cout};
+}
+
+/// Half adder: sum = a ^ b, cout = ab.
+std::pair<NetId, NetId> half_adder(Netlist& n, NetId a, NetId b) {
+    return {n.xor2(a, b), n.and2(a, b)};
+}
+
+/// Ripple-carry adder core. `sub` may be kNoNet for a plain adder.
+Bus ripple_adder_core(Netlist& n, const Bus& a, const Bus& b, NetId sub) {
+    const std::size_t w = a.size();
+    Bus y(w);
+    NetId carry = (sub == kNoNet) ? n.add_tie(false) : sub;
+    for (std::size_t i = 0; i < w; ++i) {
+        const NetId bi = (sub == kNoNet) ? b[i] : n.xor2(b[i], sub);
+        auto [s, c] = full_adder(n, a[i], bi, carry);
+        y[i] = s;
+        carry = c;
+    }
+    return y;
+}
+
+/// Kogge-Stone parallel-prefix adder core.
+Bus kogge_stone_core(Netlist& n, const Bus& a, const Bus& b, NetId sub) {
+    const std::size_t w = a.size();
+    const NetId cin = (sub == kNoNet) ? n.add_tie(false) : sub;
+    Bus p(w), g(w);
+    for (std::size_t i = 0; i < w; ++i) {
+        const NetId bi = (sub == kNoNet) ? b[i] : n.xor2(b[i], sub);
+        p[i] = n.xor2(a[i], bi);
+        g[i] = n.and2(a[i], bi);
+    }
+    // Fold the carry-in into position 0: g0' = g0 | (p0 & cin).
+    Bus gg = g, pp = p;
+    gg[0] = n.or2(g[0], n.and2(p[0], cin));
+    for (std::size_t d = 1; d < w; d *= 2) {
+        Bus g2 = gg, p2 = pp;
+        for (std::size_t i = d; i < w; ++i) {
+            g2[i] = n.or2(gg[i], n.and2(pp[i], gg[i - d]));
+            p2[i] = n.and2(pp[i], pp[i - d]);
+        }
+        gg = std::move(g2);
+        pp = std::move(p2);
+    }
+    Bus y(w);
+    y[0] = n.xor2(p[0], cin);
+    for (std::size_t i = 1; i < w; ++i) y[i] = n.xor2(p[i], gg[i - 1]);
+    return y;
+}
+
+/// Truncated carry-save array multiplier core: y = (a * b) mod 2^w.
+/// Row i's carries ripple diagonally into row i+1, so the truncated
+/// low-w product needs no final carry-propagate adder.
+Bus array_multiplier_core(Netlist& n, const Bus& a, const Bus& b) {
+    const std::size_t w = a.size();
+    Bus sum(w);
+    for (std::size_t j = 0; j < w; ++j) sum[j] = n.and2(a[0], b[j]);
+    Bus carry_prev;  // carries produced by the previous row, indexed by column
+    for (std::size_t i = 1; i < w; ++i) {
+        Bus carry_new(w, kNoNet);
+        for (std::size_t j = i; j < w; ++j) {
+            const NetId pp = n.and2(a[i], b[j - i]);
+            const NetId cin =
+                (j >= 1 && j - 1 < carry_prev.size() && carry_prev[j - 1] != kNoNet)
+                    ? carry_prev[j - 1]
+                    : kNoNet;
+            if (cin == kNoNet) {
+                // Row 1 has no incoming carries; use a half adder.
+                auto [s, c] = half_adder(n, pp, sum[j]);
+                sum[j] = s;
+                carry_new[j] = c;
+            } else {
+                auto [s, c] = full_adder(n, pp, sum[j], cin);
+                sum[j] = s;
+                carry_new[j] = c;
+            }
+        }
+        carry_prev = std::move(carry_new);
+    }
+    return sum;
+}
+
+/// Universal barrel shifter core. Right/arith select the mode; left shifts
+/// reverse the operand before and after a right shift (pure wiring).
+Bus barrel_shifter_core(Netlist& n, const Bus& a, const Bus& sh, NetId right,
+                        NetId arith) {
+    const std::size_t w = a.size();
+    // x = right ? a : reverse(a)
+    Bus x(w);
+    for (std::size_t j = 0; j < w; ++j)
+        x[j] = n.mux2(right, a[w - 1 - j], a[j]);
+    const NetId fill = n.and2(arith, x[w - 1]);
+    for (std::size_t k = 0; k < sh.size(); ++k) {
+        const std::size_t dist = std::size_t{1} << k;
+        Bus next(w);
+        for (std::size_t j = 0; j < w; ++j) {
+            const NetId shifted = (j + dist < w) ? x[j + dist] : fill;
+            next[j] = n.mux2(sh[k], x[j], shifted);
+        }
+        x = std::move(next);
+    }
+    Bus y(w);
+    for (std::size_t j = 0; j < w; ++j)
+        y[j] = n.mux2(right, x[w - 1 - j], x[j]);
+    return y;
+}
+
+void set_outputs(Netlist& n, const Bus& y) {
+    for (std::size_t j = 0; j < y.size(); ++j) n.set_output("y", j, y[j]);
+}
+
+}  // namespace
+
+const char* alu_unit_name(AluUnit unit) {
+    switch (unit) {
+        case AluUnit::Adder: return "adder";
+        case AluUnit::Logic: return "logic";
+        case AluUnit::Shifter: return "shifter";
+        case AluUnit::Multiplier: return "multiplier";
+        case AluUnit::Shared: return "shared";
+        case AluUnit::kCount: break;
+    }
+    return "?";
+}
+
+std::uint32_t Alu::op_code(ExClass cls) {
+    switch (cls) {
+        case ExClass::Add: return 0b0000;
+        case ExClass::Sub: return 0b0001;
+        case ExClass::Cmp: return 0b0001;  // compare shares the subtract path
+        case ExClass::And: return 0b0100;
+        case ExClass::Or: return 0b0101;
+        case ExClass::Xor: return 0b0110;
+        case ExClass::Sll: return 0b1000;
+        case ExClass::Srl: return 0b1001;
+        case ExClass::Sra: return 0b1010;
+        case ExClass::Mul: return 0b1100;
+        case ExClass::None:
+        case ExClass::kCount: break;
+    }
+    throw std::invalid_argument("op_code: not an ALU instruction class");
+}
+
+const std::vector<ExClass>& Alu::instruction_classes() {
+    static const std::vector<ExClass> classes = {
+        ExClass::Add, ExClass::Sub, ExClass::And, ExClass::Or,  ExClass::Xor,
+        ExClass::Sll, ExClass::Srl, ExClass::Sra, ExClass::Mul, ExClass::Cmp};
+    return classes;
+}
+
+std::uint32_t Alu::eval(ExClass cls, std::uint32_t a, std::uint32_t b) const {
+    const std::map<std::string, std::uint64_t> in = {
+        {"a", a}, {"b", b}, {"op", op_code(cls)}};
+    return static_cast<std::uint32_t>(netlist.eval(in, "y"));
+}
+
+Alu build_alu(const AluConfig& config) {
+    Alu alu;
+    alu.config = config;
+    Netlist& n = alu.netlist;
+    std::vector<std::pair<std::size_t, AluUnit>> marks;  // (first cell id, unit)
+    auto mark = [&](AluUnit unit) { marks.emplace_back(n.cell_count(), unit); };
+
+    mark(AluUnit::Shared);
+    const Bus a = make_inputs(n, "a", Alu::kWidth);
+    const Bus b = make_inputs(n, "b", Alu::kWidth);
+    const Bus op = make_inputs(n, "op", Alu::kOpBits);
+
+    // Decode (shared): select lines for the result mux and unit controls.
+    const NetId sel_mul = n.and2(op[3], op[2]);
+
+    // Adder (add / sub / cmp): subtract when op[0] is set.
+    mark(AluUnit::Adder);
+    const Bus add_y = (config.adder == AdderKind::RippleCarry)
+                          ? ripple_adder_core(n, a, b, op[0])
+                          : kogge_stone_core(n, a, b, op[0]);
+
+    // Logic unit: per-bit AND/OR/XOR selected by op[1:0] (00/01/10).
+    mark(AluUnit::Logic);
+    Bus logic_y(Alu::kWidth);
+    for (std::size_t j = 0; j < Alu::kWidth; ++j) {
+        const NetId and_j = n.and2(a[j], b[j]);
+        const NetId or_j = n.or2(a[j], b[j]);
+        const NetId xor_j = n.xor2(a[j], b[j]);
+        logic_y[j] = n.mux2(op[1], n.mux2(op[0], and_j, or_j), xor_j);
+    }
+
+    // Shifter: sll=00 srl=01 sra=10 -> right = op0|op1, arith = op1.
+    mark(AluUnit::Shifter);
+    const NetId sh_right = n.or2(op[0], op[1]);
+    const NetId sh_arith = n.buf(op[1]);
+    const Bus sh = {b[0], b[1], b[2], b[3], b[4]};
+    const Bus shift_y = barrel_shifter_core(n, a, sh, sh_right, sh_arith);
+
+    // Multiplier, with optional operand isolation.
+    mark(AluUnit::Multiplier);
+    Bus ma = a, mb = b;
+    if (config.operand_isolation) {
+        for (std::size_t j = 0; j < Alu::kWidth; ++j) {
+            ma[j] = n.and2(a[j], sel_mul);
+            mb[j] = n.and2(b[j], sel_mul);
+        }
+    }
+    const Bus mul_y = array_multiplier_core(n, ma, mb);
+
+    // Result mux (shared): op[3:2] selects the unit.
+    mark(AluUnit::Shared);
+    Bus y(Alu::kWidth);
+    for (std::size_t j = 0; j < Alu::kWidth; ++j) {
+        const NetId low = n.mux2(op[2], add_y[j], logic_y[j]);
+        const NetId high = n.mux2(op[2], shift_y[j], mul_y[j]);
+        y[j] = n.mux2(op[3], low, high);
+    }
+    set_outputs(n, y);
+
+    // Resolve unit membership from the build-order marks.
+    alu.unit_of.assign(n.cell_count(), AluUnit::Shared);
+    for (std::size_t m = 0; m < marks.size(); ++m) {
+        const std::size_t begin = marks[m].first;
+        const std::size_t end =
+            (m + 1 < marks.size()) ? marks[m + 1].first : n.cell_count();
+        for (std::size_t id = begin; id < end; ++id)
+            alu.unit_of[id] = marks[m].second;
+    }
+    return alu;
+}
+
+Netlist build_ripple_adder(std::size_t width, bool with_sub_input) {
+    Netlist n;
+    const Bus a = make_inputs(n, "a", width);
+    const Bus b = make_inputs(n, "b", width);
+    const NetId sub = with_sub_input ? n.add_input("sub", 0) : kNoNet;
+    set_outputs(n, ripple_adder_core(n, a, b, sub));
+    return n;
+}
+
+Netlist build_kogge_stone_adder(std::size_t width, bool with_sub_input) {
+    Netlist n;
+    const Bus a = make_inputs(n, "a", width);
+    const Bus b = make_inputs(n, "b", width);
+    const NetId sub = with_sub_input ? n.add_input("sub", 0) : kNoNet;
+    set_outputs(n, kogge_stone_core(n, a, b, sub));
+    return n;
+}
+
+Netlist build_array_multiplier(std::size_t width) {
+    Netlist n;
+    const Bus a = make_inputs(n, "a", width);
+    const Bus b = make_inputs(n, "b", width);
+    set_outputs(n, array_multiplier_core(n, a, b));
+    return n;
+}
+
+Netlist build_barrel_shifter(std::size_t width) {
+    Netlist n;
+    const Bus a = make_inputs(n, "a", width);
+    std::size_t sh_bits = 0;
+    while ((std::size_t{1} << sh_bits) < width) ++sh_bits;
+    const Bus sh = make_inputs(n, "sh", sh_bits);
+    const NetId right = n.add_input("right", 0);
+    const NetId arith = n.add_input("arith", 0);
+    set_outputs(n, barrel_shifter_core(n, a, sh, right, arith));
+    return n;
+}
+
+}  // namespace sfi

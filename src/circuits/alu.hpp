@@ -1,0 +1,89 @@
+// Structural generators for the EX-stage ALU of the case-study core.
+//
+// The generated netlist has three input buses —
+//   "a"[32], "b"[32]  : operand registers (toggle every cycle)
+//   "op"[4]           : function select (stable during a cycle)
+// — and one output bus "y"[32]: the D-pins of the 32 ALU-endpoint
+// flip-flops that limit fmax in the paper's design (§2.1).
+//
+// Function-select encoding (op[3:2] = unit, op[1:0] = sub-function):
+//   0000 add   0001 sub/cmp
+//   0100 and   0101 or    0110 xor
+//   1000 sll   1001 srl   1010 sra
+//   1100 mul
+//
+// Unit structures are chosen for their *timing* realism:
+//  * ripple-carry adder: data-dependent carry chains give broad,
+//    bit-position-graded arrival-time distributions (higher bits fail
+//    first) — the behaviour model C's CDFs rely on;
+//  * truncated 32x32 carry-save array multiplier with ripple CPA: the
+//    slowest unit, failing before the adder as in the paper;
+//  * 5-stage barrel shifter (shared left/right/arithmetic via input and
+//    output reversal);
+//  * flat per-bit logic unit.
+// A Kogge-Stone adder variant exists for the adder-topology ablation.
+// Multiplier inputs are operand-isolated (AND-gated with the mul select),
+// the standard low-power idiom; it also lets dynamic timing analysis
+// prune the multiplier cone for non-multiply instructions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sfi {
+
+enum class AdderKind : std::uint8_t { RippleCarry, KoggeStone };
+
+struct AluConfig {
+    /// Kogge-Stone by default: its dynamic-vs-static slack matches the
+    /// paper's synthesized core (small PoFF gains, add16/add32 close
+    /// together). The ripple-carry variant is kept for the adder-topology
+    /// ablation: its long data-dependent carry chains produce much larger
+    /// dynamic slack than the paper reports.
+    AdderKind adder = AdderKind::KoggeStone;
+    bool operand_isolation = true;  ///< AND-gate multiplier inputs
+};
+
+/// Identifies a structural unit of the ALU, for per-unit delay calibration.
+enum class AluUnit : std::uint8_t { Adder, Logic, Shifter, Multiplier, Shared, kCount };
+
+const char* alu_unit_name(AluUnit unit);
+
+/// A generated ALU netlist plus the metadata calibration and DTA need.
+struct Alu {
+    Netlist netlist;
+    AluConfig config;
+    /// Unit membership of every cell (indexed by NetId).
+    std::vector<AluUnit> unit_of;
+
+    static constexpr std::size_t kWidth = 32;
+    static constexpr std::size_t kOpBits = 4;
+
+    /// op-bus value that selects the function for an instruction class.
+    /// Valid for all ALU classes (Add..Cmp); throws for ExClass::None.
+    static std::uint32_t op_code(ExClass cls);
+
+    /// All instruction classes the ALU implements, in a stable order.
+    static const std::vector<ExClass>& instruction_classes();
+
+    /// Functional reference: evaluates the netlist for one operation.
+    /// (Tests check this against sfi::alu_result bit-exactly.)
+    std::uint32_t eval(ExClass cls, std::uint32_t a, std::uint32_t b) const;
+};
+
+/// Builds the full EX-stage ALU.
+Alu build_alu(const AluConfig& config = {});
+
+// Stand-alone unit generators (used by unit tests and the adder ablation).
+// Each creates inputs "a"/"b" (and "sub" where noted) and output "y".
+Netlist build_ripple_adder(std::size_t width, bool with_sub_input);
+Netlist build_kogge_stone_adder(std::size_t width, bool with_sub_input);
+Netlist build_array_multiplier(std::size_t width);  ///< low-`width` product
+Netlist build_barrel_shifter(std::size_t width);    ///< inputs "a","sh","right","arith"
+
+}  // namespace sfi

@@ -1,0 +1,166 @@
+// Cycle-accurate instruction-set simulator of the case-study core:
+// a 32-bit OpenRISC-style 6-stage in-order pipeline (IF1/IF2/ID/EX/MEM/WB)
+// with single-cycle multiplication and single-cycle SRAMs (paper §2.1/2.2).
+//
+// Execution is functional (one instruction retired per step) with an exact
+// pipeline *timing* model layered on top: load-use hazards stall one
+// cycle, taken branches flush the three fetch/decode stages. This yields
+// the same per-cycle EX-stage occupancy as a stage-by-stage simulation —
+// which is all the fault-injection models observe — at interpreter speed.
+//
+// Fault injection (paper §2.2): an ExFaultHook receives one callback per
+// simulated clock cycle plus one callback per ALU operation that computes
+// in the EX stage while the benchmark kernel is active. The hook may
+// corrupt the 32-bit EX result; corrupted compare results propagate into
+// the flag via the same downstream logic as the hardware
+// (compare_flag_from_diff), so wrong branching behaviour emerges naturally.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cpu/memory.hpp"
+#include "isa/isa.hpp"
+
+namespace sfi {
+
+/// One EX-stage ALU computation offered to the fault-injection hook.
+struct ExEvent {
+    Op op = Op::NOP;
+    ExClass cls = ExClass::None;
+    std::uint32_t operand_a = 0;
+    std::uint32_t operand_b = 0;   ///< post-mux operand (immediate already selected)
+    std::uint32_t prev_result = 0; ///< value latched at the ALU endpoints last time
+    std::uint64_t cycle = 0;       ///< absolute cycle index of the EX computation
+};
+
+/// Receives per-cycle and per-ALU-operation callbacks from the ISS.
+class ExFaultHook {
+public:
+    virtual ~ExFaultHook() = default;
+
+    /// Called once per simulated clock cycle (including stall/flush
+    /// bubbles). `fi_active` is true inside the benchmark kernel window.
+    virtual void on_cycle(bool fi_active) = 0;
+
+    /// Called for every ALU-class instruction computing in EX during an
+    /// FI-active cycle. Returns the (possibly corrupted) 32-bit result.
+    virtual std::uint32_t on_ex_result(const ExEvent& ev,
+                                       std::uint32_t correct) = 0;
+};
+
+/// Why a run stopped.
+enum class StopReason : std::uint8_t {
+    Halted,        ///< l.nop 0x1 executed
+    Watchdog,      ///< cycle limit exceeded (infinite-loop safeguard)
+    SelfLoop,      ///< obvious fatal error: unconditional jump-to-self
+    MemFault,      ///< out-of-range / misaligned data access
+    FetchFault,    ///< PC left the memory image or was misaligned
+    IllegalInstr,  ///< undecodable instruction word reached EX
+};
+
+const char* stop_reason_name(StopReason reason);
+
+struct RunResult {
+    StopReason stop = StopReason::Halted;
+    std::uint32_t exit_code = 0;      ///< r3 at l.nop 0x1
+    std::uint64_t cycles = 0;         ///< total simulated clock cycles
+    std::uint64_t instructions = 0;   ///< retired instructions
+    std::uint64_t kernel_cycles = 0;  ///< cycles inside the FI window
+    std::uint64_t kernel_instructions = 0;
+    std::uint32_t fault_addr = 0;     ///< for MemFault / FetchFault
+
+    bool finished() const { return stop == StopReason::Halted; }
+    double ipc() const {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/// Pipeline timing parameters (defaults model the case-study core).
+struct PipelineTiming {
+    unsigned load_use_stall = 1;   ///< bubbles between a load and a dependent use
+    unsigned taken_branch_flush = 3;  ///< bubbles after a taken branch / jump
+};
+
+class Cpu {
+public:
+    explicit Cpu(Memory& memory, PipelineTiming timing = {});
+
+    /// Resets architectural state and loads `program` (entry -> PC).
+    void reset(const Program& program);
+
+    /// Installs / removes the fault-injection hook (may be null).
+    void set_fault_hook(ExFaultHook* hook) { hook_ = hook; }
+
+    /// Runs until halt / fault / watchdog. `max_cycles` bounds total
+    /// simulated cycles (0 means the built-in default of 100M).
+    RunResult run(std::uint64_t max_cycles = 0);
+
+    /// Executes exactly one instruction (for tests and tracing);
+    /// returns the stop reason if the program terminated on this step.
+    std::optional<StopReason> step();
+
+    // Architectural state access (tests, benchmark result extraction).
+    std::uint32_t reg(std::uint8_t index) const { return regs_[index]; }
+    void set_reg(std::uint8_t index, std::uint32_t value);
+    std::uint32_t pc() const { return pc_; }
+    void set_pc(std::uint32_t pc) { pc_ = pc; }
+    bool flag() const { return flag_; }
+    std::uint64_t cycles() const { return cycles_; }
+    std::uint64_t instructions() const { return instructions_; }
+    bool fi_active() const { return fi_active_; }
+    Memory& memory() { return mem_; }
+
+    /// Enables an instruction trace (disassembly + state) to the given
+    /// callback; pass nullptr to disable.
+    using TraceFn = std::function<void(std::uint32_t pc, const Instr&,
+                                       const std::string& disasm)>;
+    void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+private:
+    struct DecodeEntry {
+        Instr instr;
+        bool valid = false;
+        bool illegal = false;
+    };
+
+    const Instr* fetch_decoded(std::uint32_t pc, bool& illegal);
+    void spend_cycles(std::uint64_t n);
+    std::uint32_t exec_alu(const Instr& instr, std::uint32_t a, std::uint32_t b);
+
+    Memory& mem_;
+    PipelineTiming timing_;
+    ExFaultHook* hook_ = nullptr;
+    TraceFn trace_;
+
+    std::array<std::uint32_t, 32> regs_{};
+    std::uint32_t pc_ = 0;
+    bool flag_ = false;
+    std::uint32_t prev_ex_result_ = 0;
+
+    std::uint64_t cycles_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t kernel_cycles_ = 0;
+    std::uint64_t kernel_instructions_ = 0;
+    bool fi_active_ = false;
+
+    // Exit bookkeeping for the current run.
+    std::optional<StopReason> pending_stop_;
+    std::uint32_t exit_code_ = 0;
+    std::uint32_t fault_addr_ = 0;
+
+    // Load-use hazard tracking: destination of a load in the previous step.
+    std::uint8_t last_load_dest_ = 0;
+    bool last_was_load_ = false;
+
+    // Decode cache (one entry per word), invalidated by data stores.
+    std::vector<DecodeEntry> decode_cache_;
+    void invalidate_decode(std::uint32_t addr);
+};
+
+}  // namespace sfi

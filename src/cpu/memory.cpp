@@ -1,0 +1,86 @@
+#include "cpu/memory.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace sfi {
+
+MemFault::MemFault(std::uint32_t fault_addr, const char* what_kind)
+    : std::runtime_error(std::string(what_kind) + " at address 0x" +
+                         [](std::uint32_t a) {
+                             char buf[16];
+                             std::snprintf(buf, sizeof buf, "%08x", a);
+                             return std::string(buf);
+                         }(fault_addr)),
+      addr(fault_addr) {}
+
+Memory::Memory(std::uint32_t size) : bytes_(size, 0) {
+    if (size == 0 || size % 4 != 0)
+        throw std::invalid_argument("Memory size must be a positive word multiple");
+}
+
+void Memory::load(const Program& program) {
+    for (const auto& section : program.sections) {
+        if (section.bytes.empty()) continue;
+        const auto n = static_cast<std::uint32_t>(section.bytes.size());
+        if (section.addr > bytes_.size() || bytes_.size() - section.addr < n)
+            throw MemFault(section.addr, "program section outside memory");
+        std::memcpy(bytes_.data() + section.addr, section.bytes.data(),
+                    section.bytes.size());
+    }
+    ++write_gen_;
+}
+
+void Memory::check(std::uint32_t addr, std::uint32_t n) const {
+    if (addr > bytes_.size() || bytes_.size() - addr < n)
+        throw MemFault(addr, "out-of-range access");
+    if (n > 1 && addr % n != 0) throw MemFault(addr, "misaligned access");
+}
+
+std::uint32_t Memory::read_u32(std::uint32_t addr) const {
+    check(addr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + addr, 4);
+    return v;  // host is little-endian (static_assert below)
+}
+
+std::uint16_t Memory::read_u16(std::uint32_t addr) const {
+    check(addr, 2);
+    std::uint16_t v;
+    std::memcpy(&v, bytes_.data() + addr, 2);
+    return v;
+}
+
+std::uint8_t Memory::read_u8(std::uint32_t addr) const {
+    check(addr, 1);
+    return bytes_[addr];
+}
+
+void Memory::write_u32(std::uint32_t addr, std::uint32_t value) {
+    check(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, 4);
+    ++write_gen_;
+}
+
+void Memory::write_u16(std::uint32_t addr, std::uint16_t value) {
+    check(addr, 2);
+    std::memcpy(bytes_.data() + addr, &value, 2);
+    ++write_gen_;
+}
+
+void Memory::write_u8(std::uint32_t addr, std::uint8_t value) {
+    check(addr, 1);
+    bytes_[addr] = value;
+    ++write_gen_;
+}
+
+void Memory::clear() {
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+    ++write_gen_;
+}
+
+static_assert(std::endian::native == std::endian::little,
+              "sfi assumes a little-endian host for memcpy-based accessors");
+
+}  // namespace sfi

@@ -1,0 +1,55 @@
+// Flat byte-addressable memory modeling the single-cycle SRAM macros of
+// the case-study core (paper §2.1). Accesses outside the configured size
+// or with bad alignment raise MemFault, which the ISS turns into a
+// "did not finish" program outcome.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace sfi {
+
+/// Thrown on out-of-range or misaligned accesses.
+struct MemFault : std::runtime_error {
+    MemFault(std::uint32_t addr, const char* what_kind);
+    std::uint32_t addr;
+};
+
+class Memory {
+public:
+    /// Creates a zero-initialized memory of `size` bytes (word multiple).
+    explicit Memory(std::uint32_t size = kDefaultSize);
+
+    static constexpr std::uint32_t kDefaultSize = 1u << 20;  // 1 MiB
+
+    std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
+
+    /// Copies all sections of an assembled program into memory.
+    void load(const Program& program);
+
+    // Little-endian accessors. Word/half accesses must be aligned.
+    std::uint32_t read_u32(std::uint32_t addr) const;
+    std::uint16_t read_u16(std::uint32_t addr) const;
+    std::uint8_t read_u8(std::uint32_t addr) const;
+    void write_u32(std::uint32_t addr, std::uint32_t value);
+    void write_u16(std::uint32_t addr, std::uint16_t value);
+    void write_u8(std::uint32_t addr, std::uint8_t value);
+
+    /// Monotone counter bumped on every write; the ISS decode cache uses it
+    /// to stay coherent without per-store invalidation bookkeeping.
+    std::uint64_t write_generation() const { return write_gen_; }
+
+    /// Resets contents to zero (keeps size).
+    void clear();
+
+private:
+    void check(std::uint32_t addr, std::uint32_t bytes) const;
+
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t write_gen_ = 0;
+};
+
+}  // namespace sfi

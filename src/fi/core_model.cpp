@@ -1,0 +1,112 @@
+#include "fi/core_model.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+namespace sfi {
+
+namespace {
+
+// FNV-1a over the bytes of the numeric configuration knobs that affect
+// the DTA result. Changing any of them invalidates a CDF cache.
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+template <typename T>
+std::uint64_t mix(std::uint64_t hash, const T& value) {
+    return fnv1a(hash, &value, sizeof value);
+}
+
+}  // namespace
+
+std::uint64_t CharacterizedCore::config_fingerprint() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = mix(h, config_.alu.adder);
+    h = mix(h, config_.alu.operand_isolation);
+    h = mix(h, config_.lib.load_per_fanout);
+    h = mix(h, config_.lib.process_sigma);
+    h = mix(h, config_.lib.process_seed);
+    h = mix(h, config_.lib.ff_setup_ps);
+    h = mix(h, config_.lib.vdd.vref);
+    h = mix(h, config_.lib.vdd.vth);
+    h = mix(h, config_.lib.vdd.alpha);
+    h = mix(h, config_.calibration.vdd);
+    h = mix(h, config_.calibration.mul_period_ps);
+    h = mix(h, config_.calibration.add_period_ps);
+    h = mix(h, config_.calibration.shift_period_ps);
+    h = mix(h, config_.calibration.logic_period_ps);
+    h = mix(h, config_.dta.cycles);
+    h = mix(h, config_.dta.seed);
+    h = mix(h, config_.dta.clk_to_q_ps);
+    h = mix(h, config_.dta.operand_bits);
+    return h;
+}
+
+CharacterizedCore::CharacterizedCore(CoreModelConfig config)
+    : config_(std::move(config)),
+      alu_(build_alu(config_.alu)),
+      lib_(config_.lib),
+      timing_(alu_.netlist, lib_) {
+    calibration_ = calibrate_alu(alu_, timing_, config_.calibration);
+    sta_ = endpoint_worst_sta(alu_, timing_);
+
+    const std::uint64_t fingerprint = config_fingerprint();
+    bool loaded = false;
+    if (!config_.cdf_cache_path.empty() &&
+        std::filesystem::exists(config_.cdf_cache_path)) {
+        std::ifstream is(config_.cdf_cache_path, std::ios::binary);
+        std::uint64_t stored = 0;
+        is.read(reinterpret_cast<char*>(&stored), sizeof stored);
+        if (is && stored == fingerprint) {
+            try {
+                cdfs_ = std::make_shared<TimingErrorCdfs>(TimingErrorCdfs::load(is));
+                loaded = true;
+            } catch (const std::exception&) {
+                loaded = false;  // corrupt cache: recharacterize
+            }
+        }
+    }
+    if (!loaded) {
+        const DtaResult dta = run_dta(alu_, timing_, config_.dta);
+        cdfs_ = std::make_shared<TimingErrorCdfs>(TimingErrorCdfs::from_dta(dta));
+        if (!config_.cdf_cache_path.empty()) {
+            std::ofstream os(config_.cdf_cache_path, std::ios::binary);
+            if (os) {
+                os.write(reinterpret_cast<const char*>(&fingerprint),
+                         sizeof fingerprint);
+                cdfs_->save(os);
+            }
+        }
+    }
+}
+
+double CharacterizedCore::sta_fmax_mhz(double vdd) const {
+    return sta_.fmax_mhz(lib_.fit().factor(vdd));
+}
+
+double CharacterizedCore::dynamic_fmax_mhz(ExClass cls, double vdd) const {
+    const double window = cdfs_->class_max_window_ps(cls);
+    return 1.0e6 / (window * lib_.fit().factor(vdd));
+}
+
+std::unique_ptr<ModelA> CharacterizedCore::make_model_a(
+    double flip_probability) const {
+    return std::make_unique<ModelA>(flip_probability);
+}
+
+std::unique_ptr<ModelB> CharacterizedCore::make_model_b() const {
+    return std::make_unique<ModelB>(sta_, lib_.fit());
+}
+
+std::unique_ptr<ModelC> CharacterizedCore::make_model_c() const {
+    return std::make_unique<ModelC>(cdfs_, lib_.fit());
+}
+
+}  // namespace sfi

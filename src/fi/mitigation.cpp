@@ -1,0 +1,43 @@
+#include "fi/mitigation.hpp"
+
+#include <stdexcept>
+
+namespace sfi {
+
+ErrorDetectionModel::ErrorDetectionModel(std::unique_ptr<FaultModel> inner,
+                                         RazorConfig config)
+    : inner_(std::move(inner)), config_(config) {
+    if (!inner_) throw std::invalid_argument("ErrorDetectionModel: null inner");
+    if (config_.detection_coverage < 0.0 || config_.detection_coverage > 1.0)
+        throw std::invalid_argument("ErrorDetectionModel: coverage out of range");
+}
+
+void ErrorDetectionModel::operating_point_changed() {
+    inner_->set_operating_point(point_);
+}
+
+std::uint32_t ErrorDetectionModel::corrupt(const ExEvent& ev,
+                                           std::uint32_t correct) {
+    // Drive the inner model through its public entry point so its own
+    // statistics (and RNG stream) behave exactly as without mitigation.
+    const std::uint32_t result = inner_->on_ex_result(ev, correct);
+    if (result == correct) return correct;
+    if (rng_.chance(config_.detection_coverage)) {
+        ++detected_;
+        ++stats_.injections;  // a detected violation still counts as an FI
+        return correct;       // replayed: architecturally clean
+    }
+    ++escaped_;
+    ++stats_.injections;
+    return result;
+}
+
+double ErrorDetectionModel::effective_mhz(double f_mhz,
+                                          std::uint64_t kernel_cycles) const {
+    const std::uint64_t total = kernel_cycles + replay_cycles();
+    return total ? f_mhz * static_cast<double>(kernel_cycles) /
+                       static_cast<double>(total)
+                 : f_mhz;
+}
+
+}  // namespace sfi

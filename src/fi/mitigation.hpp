@@ -1,0 +1,62 @@
+// Razor-style error detection & replay on top of any fault model — the
+// mitigation approach the paper positions itself against ([1] Ernst et
+// al., Razor; [2] Bowman et al., resilient core). The paper's statistical
+// FI makes this analysis possible: detection hardware turns timing errors
+// into replay cycles instead of data corruption, so the interesting
+// question becomes where the throughput-optimal overscaling point lies.
+//
+// ErrorDetectionModel decorates an inner fault model: every corrupted EX
+// result is detected with probability `detection_coverage` and replayed
+// (correct result, `replay_penalty_cycles` charged); undetected
+// corruptions escape to the application exactly as without mitigation.
+#pragma once
+
+#include <memory>
+
+#include "fi/models.hpp"
+
+namespace sfi {
+
+struct RazorConfig {
+    double detection_coverage = 1.0;    ///< P(detect | corrupted result)
+    unsigned replay_penalty_cycles = 11;  ///< pipeline replay cost per detection
+};
+
+class ErrorDetectionModel final : public FaultModel {
+public:
+    ErrorDetectionModel(std::unique_ptr<FaultModel> inner, RazorConfig config);
+
+    std::string name() const override { return "razor(" + inner_->name() + ")"; }
+    ModelFeatures features() const override { return inner_->features(); }
+
+    const FaultModel& inner() const { return *inner_; }
+    std::uint64_t detected() const { return detected_; }
+    std::uint64_t escaped() const { return escaped_; }
+    /// Extra cycles spent replaying detected errors.
+    std::uint64_t replay_cycles() const {
+        return detected_ * config_.replay_penalty_cycles;
+    }
+    /// Effective throughput at clock `f_mhz` given the replay overhead
+    /// accumulated over `kernel_cycles` of execution.
+    double effective_mhz(double f_mhz, std::uint64_t kernel_cycles) const;
+
+    void reset_mitigation_stats() { detected_ = escaped_ = 0; }
+
+    /// Reseeds both the detection draw stream and the inner fault model.
+    void reseed(std::uint64_t seed) override {
+        FaultModel::reseed(seed);
+        inner_->reseed(seed ^ 0x52415a4fULL);  // distinct inner stream
+    }
+
+protected:
+    std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
+    void operating_point_changed() override;
+
+private:
+    std::unique_ptr<FaultModel> inner_;
+    RazorConfig config_;
+    std::uint64_t detected_ = 0;
+    std::uint64_t escaped_ = 0;
+};
+
+}  // namespace sfi

@@ -1,0 +1,206 @@
+#include "fi/models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace sfi {
+
+// ---------------------------------------------------------------------------
+// FaultModel base
+// ---------------------------------------------------------------------------
+
+void FaultModel::set_operating_point(const OperatingPoint& point) {
+    point_ = point;
+    operating_point_changed();
+}
+
+void FaultModel::on_cycle(bool fi_active) {
+    if (fi_active) ++stats_.fi_cycles;
+}
+
+std::uint32_t FaultModel::on_ex_result(const ExEvent& ev, std::uint32_t correct) {
+    ++stats_.alu_ops;
+    const std::uint64_t before = stats_.injections;
+    const std::uint32_t result = corrupt(ev, correct);
+    if (stats_.injections != before) ++stats_.corrupted_ops;
+    return result;
+}
+
+std::uint32_t FaultModel::apply_fault(std::uint32_t value, std::uint32_t endpoint,
+                                      std::uint32_t prev_result) {
+    ++stats_.injections;
+    const std::uint32_t mask = 1u << endpoint;
+    switch (policy_) {
+        case FaultPolicy::BitFlip:
+            return value ^ mask;
+        case FaultPolicy::StaleCapture:
+            return (value & ~mask) | (prev_result & mask);
+    }
+    return value;
+}
+
+std::vector<double> build_noise_window_table(const OperatingPoint& point,
+                                             const VddDelayFit& fit,
+                                             std::size_t entries) {
+    assert(entries >= 2);
+    const double clip_v = point.noise.clip_sigmas * point.noise.sigma_mv * 1e-3;
+    std::vector<double> table(entries);
+    const double period = point.period_ps();
+    for (std::size_t i = 0; i < entries; ++i) {
+        const double noise =
+            -clip_v + 2.0 * clip_v * static_cast<double>(i) /
+                          static_cast<double>(entries - 1);
+        table[i] = period / fit.factor(point.vdd + noise);
+    }
+    return table;
+}
+
+std::size_t noise_table_index(const OperatingPoint& point, double noise_v,
+                              std::size_t entries) {
+    const double clip_v = point.noise.clip_sigmas * point.noise.sigma_mv * 1e-3;
+    if (clip_v <= 0.0) return entries / 2;
+    const double t = (noise_v + clip_v) / (2.0 * clip_v);
+    const auto idx = static_cast<std::ptrdiff_t>(
+        t * static_cast<double>(entries - 1) + 0.5);
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(entries) - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Model A
+// ---------------------------------------------------------------------------
+
+ModelA::ModelA(double flip_probability) : p_(flip_probability) {
+    if (p_ < 0.0 || p_ > 1.0)
+        throw std::invalid_argument("ModelA: probability out of range");
+}
+
+ModelFeatures ModelA::features() const {
+    return {"fixed probability", "none", false, false, "no", false};
+}
+
+std::uint32_t ModelA::corrupt(const ExEvent& ev, std::uint32_t correct) {
+    std::uint32_t result = correct;
+    for (std::uint32_t endpoint = 0; endpoint < 32; ++endpoint)
+        if (rng_.chance(p_))
+            result = apply_fault(result, endpoint, ev.prev_result);
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Models B / B+
+// ---------------------------------------------------------------------------
+
+ModelB::ModelB(StaResult sta, const VddDelayFit& fit)
+    : sta_(std::move(sta)), fit_(&fit) {
+    window_ps_.resize(sta_.endpoint_ps.size());
+    for (std::size_t e = 0; e < window_ps_.size(); ++e)
+        window_ps_[e] = sta_.endpoint_ps[e] + sta_.setup_ps;
+    order_.resize(window_ps_.size());
+    std::iota(order_.begin(), order_.end(), 0u);
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t lhs, std::uint32_t rhs) {
+                  return window_ps_[lhs] > window_ps_[rhs];
+              });
+    max_window_ps_ =
+        window_ps_.empty() ? 0.0
+                           : *std::max_element(window_ps_.begin(), window_ps_.end());
+    operating_point_changed();
+}
+
+std::string ModelB::name() const {
+    return point_.noise.sigma_mv > 0.0 ? "B+" : "B";
+}
+
+ModelFeatures ModelB::features() const {
+    if (point_.noise.sigma_mv > 0.0)
+        return {"modulated period violation", "STA", true, true, "partially", false};
+    return {"fixed period violation", "STA", true, false, "partially", false};
+}
+
+void ModelB::operating_point_changed() {
+    base_window_ps_ = point_.period_ps() / fit_->factor(point_.vdd);
+    noise_window_table_ = point_.noise.sigma_mv > 0.0
+                              ? build_noise_window_table(point_, *fit_)
+                              : std::vector<double>{};
+}
+
+double ModelB::first_fault_frequency_mhz() const {
+    // Worst case: maximum clipped negative noise excursion.
+    const double clip_v = point_.noise.clip_sigmas * point_.noise.sigma_mv * 1e-3;
+    const double factor = fit_->factor(point_.vdd - clip_v);
+    // Violation when period / factor < max_window  =>  f > 1e6/(window*factor).
+    return 1.0e6 / (max_window_ps_ * factor);
+}
+
+std::uint32_t ModelB::corrupt(const ExEvent& ev, std::uint32_t correct) {
+    double window = base_window_ps_;
+    if (!noise_window_table_.empty()) {
+        VddNoise noise(point_.noise);
+        const double n = noise.draw(rng_);
+        window = noise_window_table_[noise_table_index(
+            point_, n, noise_window_table_.size())];
+    }
+    if (max_window_ps_ <= window) return correct;  // whole stage safe
+    std::uint32_t result = correct;
+    for (const std::uint32_t endpoint : order_) {
+        if (window_ps_[endpoint] <= window) break;  // sorted: rest are safe
+        result = apply_fault(result, endpoint, ev.prev_result);
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Model C
+// ---------------------------------------------------------------------------
+
+ModelC::ModelC(std::shared_ptr<const TimingErrorCdfs> cdfs, const VddDelayFit& fit)
+    : cdfs_(std::move(cdfs)), fit_(&fit) {
+    if (!cdfs_) throw std::invalid_argument("ModelC: null CDF store");
+    operating_point_changed();
+}
+
+ModelFeatures ModelC::features() const {
+    return {"probabilistic period violation (using CDFs)", "DTA", true, true,
+            "yes", true};
+}
+
+void ModelC::operating_point_changed() {
+    base_window_ps_ = point_.period_ps() / fit_->factor(point_.vdd);
+    noise_window_table_ = point_.noise.sigma_mv > 0.0
+                              ? build_noise_window_table(point_, *fit_)
+                              : std::vector<double>{};
+}
+
+double ModelC::first_fault_frequency_mhz(ExClass cls) const {
+    const double clip_v = point_.noise.clip_sigmas * point_.noise.sigma_mv * 1e-3;
+    const double factor = fit_->factor(point_.vdd - clip_v);
+    return 1.0e6 / (cdfs_->class_max_window_ps(cls) * factor);
+}
+
+std::uint32_t ModelC::corrupt(const ExEvent& ev, std::uint32_t correct) {
+    // Step 1 (Fig. 3): derive the capture window at Vref from clock
+    // frequency, supply voltage and this cycle's noise draw.
+    double window = base_window_ps_;
+    if (!noise_window_table_.empty()) {
+        VddNoise noise(point_.noise);
+        const double n = noise.draw(rng_);
+        window = noise_window_table_[noise_table_index(
+            point_, n, noise_window_table_.size())];
+    }
+    // Step 2+3: evaluate the instruction's endpoint CDFs at the scaled
+    // window and inject per-endpoint Bernoulli faults.
+    if (cdfs_->class_max_window_ps(ev.cls) <= window) return correct;
+    std::uint32_t result = correct;
+    for (const std::uint32_t endpoint : cdfs_->endpoints_by_criticality(ev.cls)) {
+        if (cdfs_->endpoint_max_window_ps(ev.cls, endpoint) <= window)
+            break;  // sorted by criticality: all remaining endpoints are safe
+        const double p = cdfs_->violation_prob(ev.cls, endpoint, window);
+        if (p > 0.0 && rng_.chance(p))
+            result = apply_fault(result, endpoint, ev.prev_result);
+    }
+    return result;
+}
+
+}  // namespace sfi

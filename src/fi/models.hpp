@@ -1,0 +1,202 @@
+// The four timing-error fault-injection models of the paper (Table 2):
+//
+//   A  — fixed-probability random bit flips (conventional FI);
+//   B  — deterministic injection whenever the clock period violates the
+//        per-endpoint STA delay (fixed period violation);
+//   B+ — model B with per-cycle supply-noise modulation of all delays
+//        (modulated period violation);
+//   C  — the paper's contribution: probabilistic injection from
+//        instruction-conditioned DTA arrival-time CDFs, combined with the
+//        same noise model (probabilistic period violation using CDFs).
+//
+// All models implement the ISS hook (ExFaultHook): they receive one
+// callback per cycle and may corrupt every ALU result computed in the EX
+// stage during the benchmark kernel. They corrupt only the 32 ALU
+// endpoints, per the case-study constraint that all other paths are safe
+// (paper §2.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+#include "fi/cdf.hpp"
+#include "fi/noise.hpp"
+#include "timing/sta.hpp"
+#include "timing/vdd_model.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+
+/// Operating point of a simulation run.
+struct OperatingPoint {
+    double freq_mhz = 500.0;
+    double vdd = 0.7;
+    NoiseConfig noise;
+
+    double period_ps() const { return 1.0e6 / freq_mhz; }
+};
+
+/// What a timing violation does to the captured bit.
+enum class FaultPolicy : std::uint8_t {
+    BitFlip,       ///< invert the captured bit (the paper's choice)
+    StaleCapture,  ///< capture the previous EX-stage endpoint value
+};
+
+/// Feature row of Table 2.
+struct ModelFeatures {
+    std::string technique;
+    std::string timing_data;
+    bool multi_vdd = false;
+    bool vdd_noise = false;
+    std::string gate_level_aware;  // "no" / "partially" / "yes"
+    bool instruction_aware = false;
+};
+
+/// Injection statistics for one run.
+struct FiStats {
+    std::uint64_t fi_cycles = 0;     ///< cycles with FI active (kernel)
+    std::uint64_t alu_ops = 0;       ///< ALU results offered to the model
+    std::uint64_t injections = 0;    ///< endpoint violations injected
+    std::uint64_t corrupted_ops = 0; ///< ALU ops with >= 1 injected endpoint
+
+    /// FI rate in faults per 1000 cycles of kernel execution (the paper's
+    /// FI/kCycle metric).
+    double fi_per_kcycle() const {
+        return fi_cycles ? 1000.0 * static_cast<double>(injections) /
+                               static_cast<double>(fi_cycles)
+                         : 0.0;
+    }
+};
+
+/// Common base: operating point, RNG stream, statistics, fault policy.
+class FaultModel : public ExFaultHook {
+public:
+    ~FaultModel() override = default;
+
+    virtual std::string name() const = 0;
+    virtual ModelFeatures features() const = 0;
+
+    /// Sets frequency/voltage/noise; resets per-point derived state.
+    void set_operating_point(const OperatingPoint& point);
+    const OperatingPoint& operating_point() const { return point_; }
+
+    void set_policy(FaultPolicy policy) { policy_ = policy; }
+    FaultPolicy policy() const { return policy_; }
+
+    /// Reseeds the RNG stream (one distinct seed per Monte-Carlo trial).
+    /// Virtual so decorating models (fi/mitigation.hpp) can reseed their
+    /// inner model in lock-step.
+    virtual void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+    const FiStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = FiStats{}; }
+
+    // ExFaultHook:
+    void on_cycle(bool fi_active) final;
+    std::uint32_t on_ex_result(const ExEvent& ev, std::uint32_t correct) final;
+
+protected:
+    /// Model-specific corruption: returns the value to latch.
+    virtual std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) = 0;
+    /// Called when the operating point changes (derived-state refresh).
+    virtual void operating_point_changed() {}
+
+    /// Applies the fault policy to one endpoint of `value`.
+    std::uint32_t apply_fault(std::uint32_t value, std::uint32_t endpoint,
+                              std::uint32_t prev_result);
+
+    OperatingPoint point_;
+    FaultPolicy policy_ = FaultPolicy::BitFlip;
+    Rng rng_;
+    FiStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Model A: every endpoint flips with a fixed probability per ALU result,
+/// independent of frequency, voltage, instruction and circuit timing.
+class ModelA final : public FaultModel {
+public:
+    explicit ModelA(double flip_probability);
+
+    std::string name() const override { return "A"; }
+    ModelFeatures features() const override;
+    double flip_probability() const { return p_; }
+
+protected:
+    std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
+
+private:
+    double p_;
+};
+
+/// Models B and B+: per-endpoint worst-case STA delays; injection is
+/// deterministic given the (possibly noise-modulated) capture window.
+/// sigma = 0 gives model B; sigma > 0 gives model B+.
+class ModelB final : public FaultModel {
+public:
+    /// `sta` must come from the full (instruction-oblivious) netlist STA;
+    /// `fit` is the five-corner Vdd-delay fit used for scaling.
+    ModelB(StaResult sta, const VddDelayFit& fit);
+
+    std::string name() const override;
+    ModelFeatures features() const override;
+
+    /// Lowest frequency at which this model can inject at the current
+    /// operating point (with worst-case clipped noise), MHz.
+    double first_fault_frequency_mhz() const;
+
+protected:
+    std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
+    void operating_point_changed() override;
+
+private:
+    StaResult sta_;
+    const VddDelayFit* fit_;
+    std::vector<double> window_ps_;        // per endpoint: delay + setup @ Vref
+    std::vector<std::uint32_t> order_;     // endpoints by decreasing window
+    double max_window_ps_ = 0.0;
+    // Noise -> capture-window lookup (quantized; see .cpp).
+    std::vector<double> noise_window_table_;
+    double base_window_ps_ = 0.0;          // no-noise capture window @ Vref
+};
+
+/// Model C: statistical, instruction-aware fault injection from DTA CDFs.
+class ModelC final : public FaultModel {
+public:
+    ModelC(std::shared_ptr<const TimingErrorCdfs> cdfs, const VddDelayFit& fit);
+
+    std::string name() const override { return "C"; }
+    ModelFeatures features() const override;
+
+    const TimingErrorCdfs& cdfs() const { return *cdfs_; }
+
+    /// Lowest frequency with a non-zero injection probability for `cls`
+    /// at the current operating point (with worst-case clipped noise), MHz.
+    double first_fault_frequency_mhz(ExClass cls) const;
+
+protected:
+    std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
+    void operating_point_changed() override;
+
+private:
+    std::shared_ptr<const TimingErrorCdfs> cdfs_;
+    const VddDelayFit* fit_;
+    std::vector<double> noise_window_table_;
+    double base_window_ps_ = 0.0;
+};
+
+/// Shared helper: builds the quantized noise -> capture-window table.
+/// Entry i covers noise value -clip + i * step; window = period /
+/// factor(vdd + noise) expressed at Vref.
+std::vector<double> build_noise_window_table(const OperatingPoint& point,
+                                             const VddDelayFit& fit,
+                                             std::size_t entries = 1025);
+
+/// Maps a concrete noise draw (volts) to a table index.
+std::size_t noise_table_index(const OperatingPoint& point, double noise_v,
+                              std::size_t entries);
+
+}  // namespace sfi

@@ -1,0 +1,40 @@
+// Supply-voltage noise model (paper §3.3): zero-mean Gaussian with
+// standard deviation sigma, clipped at +/- clip_sigmas * sigma to avoid
+// physically unrealistic tail spikes. One independent value per cycle.
+#pragma once
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace sfi {
+
+struct NoiseConfig {
+    double sigma_mv = 0.0;     ///< standard deviation in millivolts
+    double clip_sigmas = 2.0;  ///< saturation point (paper: 2 sigma)
+};
+
+class VddNoise {
+public:
+    explicit VddNoise(NoiseConfig config = {}) : config_(config) {}
+
+    /// Draws one per-cycle noise value in volts.
+    double draw(Rng& rng) const {
+        if (config_.sigma_mv <= 0.0) return 0.0;
+        const double clip = config_.clip_sigmas * config_.sigma_mv;
+        const double n = std::clamp(rng.normal(0.0, config_.sigma_mv), -clip, clip);
+        return n * 1e-3;  // mV -> V
+    }
+
+    /// Largest possible |noise| in volts (the clip level).
+    double max_abs_v() const {
+        return config_.clip_sigmas * config_.sigma_mv * 1e-3;
+    }
+
+    const NoiseConfig& config() const { return config_; }
+
+private:
+    NoiseConfig config_;
+};
+
+}  // namespace sfi

@@ -1,0 +1,75 @@
+#include "mc/montecarlo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfi {
+
+MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model,
+                                   McConfig config)
+    : benchmark_(&benchmark), model_(&model), config_(config), cpu_(memory_) {
+    // Fault-free reference run: establishes the golden cycle count and
+    // validates the kernel against its C++ replica.
+    cpu_.set_fault_hook(nullptr);
+    cpu_.reset(benchmark.program());
+    golden_ = cpu_.run();
+    if (golden_.stop != StopReason::Halted)
+        throw std::logic_error("MonteCarloRunner: golden run of " +
+                               benchmark.name() + " did not halt (" +
+                               stop_reason_name(golden_.stop) + ")");
+    golden_output_ = benchmark.golden_output();
+    const auto observed = benchmark.read_output(memory_);
+    if (observed != golden_output_)
+        throw std::logic_error("MonteCarloRunner: golden run of " +
+                               benchmark.name() +
+                               " does not match the reference output");
+    watchdog_cycles_ = static_cast<std::uint64_t>(
+        std::ceil(config_.watchdog_factor * static_cast<double>(golden_.cycles)));
+}
+
+TrialOutcome MonteCarloRunner::run_trial(const OperatingPoint& point,
+                                         std::uint64_t trial) {
+    model_->set_operating_point(point);
+    model_->reset_stats();
+    // Independent, reproducible stream per trial.
+    Rng seeder(config_.seed);
+    model_->reseed(seeder.fork(trial)());
+
+    cpu_.set_fault_hook(model_);
+    cpu_.reset(benchmark_->program());
+    const RunResult run = cpu_.run(watchdog_cycles_);
+    cpu_.set_fault_hook(nullptr);
+
+    TrialOutcome outcome;
+    outcome.stop = run.stop;
+    outcome.finished = run.finished();
+    outcome.fi = model_->stats();
+    outcome.cycles = run.cycles;
+    outcome.kernel_cycles = run.kernel_cycles;
+    if (outcome.finished) {
+        const auto output = benchmark_->read_output(memory_);
+        outcome.correct = output == golden_output_;
+        outcome.output_error = benchmark_->output_error(output);
+    }
+    return outcome;
+}
+
+PointSummary MonteCarloRunner::run_point(const OperatingPoint& point) {
+    PointSummary summary;
+    summary.point = point;
+    summary.trials = config_.trials;
+    for (std::size_t trial = 0; trial < config_.trials; ++trial) {
+        const TrialOutcome outcome = run_trial(point, trial);
+        if (outcome.finished) {
+            ++summary.finished_count;
+            if (outcome.correct) ++summary.correct_count;
+            summary.error_stats.add(outcome.output_error);
+        }
+        summary.fi_rate_stats.add(outcome.fi.fi_per_kcycle());
+    }
+    summary.fi_rate = summary.fi_rate_stats.mean();
+    summary.mean_error = summary.error_stats.mean();
+    return summary;
+}
+
+}  // namespace sfi

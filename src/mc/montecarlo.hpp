@@ -1,0 +1,98 @@
+// Monte-Carlo fault-injection harness (paper §2.3: at least 100
+// simulations per parameter configuration).
+//
+// For each operating point the runner executes N independent trials of a
+// benchmark under a fault model and aggregates the four application-level
+// metrics of the paper (§4.2): probability to finish, probability to be
+// correct, FI rate (faults per 1000 kernel cycles), and the output error
+// of the runs that finished.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/benchmark.hpp"
+#include "cpu/cpu.hpp"
+#include "fi/models.hpp"
+#include "util/stats.hpp"
+
+namespace sfi {
+
+struct McConfig {
+    std::size_t trials = 100;
+    std::uint64_t seed = 1;
+    /// Watchdog limit as a multiple of the fault-free kernel run time;
+    /// runs exceeding it count as "did not finish" (infinite-loop guard,
+    /// paper §2.2).
+    double watchdog_factor = 8.0;
+};
+
+struct TrialOutcome {
+    StopReason stop = StopReason::Halted;
+    bool finished = false;
+    bool correct = false;
+    double output_error = 0.0;  ///< valid only when finished
+    FiStats fi;
+    std::uint64_t cycles = 0;
+    std::uint64_t kernel_cycles = 0;
+};
+
+struct PointSummary {
+    OperatingPoint point;
+    std::size_t trials = 0;
+    std::size_t finished_count = 0;
+    std::size_t correct_count = 0;
+    double fi_rate = 0.0;     ///< mean FI/kCycle over all trials
+    double mean_error = 0.0;  ///< mean output error over finished trials
+    RunningStats error_stats; ///< distribution over finished trials
+    RunningStats fi_rate_stats;
+
+    double finished_frac() const {
+        return trials ? static_cast<double>(finished_count) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+    double correct_frac() const {
+        return trials ? static_cast<double>(correct_count) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+    /// 95 % Wilson confidence intervals on the two probabilities.
+    Interval finished_ci() const { return wilson_interval(finished_count, trials); }
+    Interval correct_ci() const { return wilson_interval(correct_count, trials); }
+};
+
+class MonteCarloRunner {
+public:
+    /// Performs one fault-free reference run at construction; throws
+    /// std::logic_error if the benchmark does not reproduce its golden
+    /// output (a miscompiled kernel would silently poison every result).
+    MonteCarloRunner(const Benchmark& benchmark, FaultModel& model,
+                     McConfig config = {});
+
+    const RunResult& golden_run() const { return golden_; }
+    const std::vector<std::uint32_t>& golden_output() const {
+        return golden_output_;
+    }
+
+    /// One independent trial at `point` (trial index selects the RNG
+    /// stream; equal indices reproduce identical trials).
+    TrialOutcome run_trial(const OperatingPoint& point, std::uint64_t trial);
+
+    /// config.trials independent trials, aggregated.
+    PointSummary run_point(const OperatingPoint& point);
+
+    const McConfig& config() const { return config_; }
+
+private:
+    const Benchmark* benchmark_;
+    FaultModel* model_;
+    McConfig config_;
+    Memory memory_;
+    Cpu cpu_;
+    RunResult golden_;
+    std::vector<std::uint32_t> golden_output_;
+    std::uint64_t watchdog_cycles_ = 0;
+};
+
+}  // namespace sfi

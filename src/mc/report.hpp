@@ -1,0 +1,28 @@
+// Console / CSV reporting of sweep results in the shape of the paper's
+// figure panels: one row per frequency (or voltage) with the four
+// application metrics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mc/montecarlo.hpp"
+
+namespace sfi {
+
+/// Prints a figure-panel-style table: frequency, finished %, correct %,
+/// FI/kCycle, output error. `error_label` names the benchmark metric.
+void print_sweep(std::ostream& os, const std::string& title,
+                 const std::vector<PointSummary>& sweep,
+                 const std::string& error_label);
+
+/// Same series as CSV (columns: freq_mhz, vdd, sigma_mv, finished, correct,
+/// fi_per_kcycle, mean_error, trials). Empty path = skip.
+void write_sweep_csv(const std::string& path,
+                     const std::vector<PointSummary>& sweep);
+
+/// One-line progress printer for long sweeps.
+void print_point_progress(std::ostream& os, const PointSummary& point);
+
+}  // namespace sfi

@@ -1,0 +1,65 @@
+#include "mc/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfi {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+    if (n == 0) throw std::invalid_argument("linspace: n must be positive");
+    if (n == 1) return {lo};
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo + (hi - lo) * static_cast<double>(i) /
+                          static_cast<double>(n - 1);
+    return out;
+}
+
+std::vector<double> arange(double lo, double hi, double step) {
+    if (step <= 0.0) throw std::invalid_argument("arange: step must be positive");
+    std::vector<double> out;
+    for (double v = lo; v <= hi + 1e-9; v += step) out.push_back(v);
+    return out;
+}
+
+std::vector<PointSummary> frequency_sweep(MonteCarloRunner& runner,
+                                          OperatingPoint base,
+                                          const std::vector<double>& freqs_mhz,
+                                          const SweepProgress& progress) {
+    std::vector<PointSummary> out;
+    out.reserve(freqs_mhz.size());
+    for (const double f : freqs_mhz) {
+        OperatingPoint point = base;
+        point.freq_mhz = f;
+        out.push_back(runner.run_point(point));
+        if (progress) progress(out.back());
+    }
+    return out;
+}
+
+std::vector<PointSummary> voltage_sweep(MonteCarloRunner& runner,
+                                        OperatingPoint base,
+                                        const std::vector<double>& vdds,
+                                        const SweepProgress& progress) {
+    std::vector<PointSummary> out;
+    out.reserve(vdds.size());
+    for (const double v : vdds) {
+        OperatingPoint point = base;
+        point.vdd = v;
+        out.push_back(runner.run_point(point));
+        if (progress) progress(out.back());
+    }
+    return out;
+}
+
+std::optional<double> find_poff_mhz(const std::vector<PointSummary>& sweep) {
+    for (const PointSummary& point : sweep)
+        if (point.correct_count != point.trials) return point.point.freq_mhz;
+    return std::nullopt;
+}
+
+double poff_gain_percent(double poff_mhz, double sta_mhz) {
+    return 100.0 * (poff_mhz - sta_mhz) / sta_mhz;
+}
+
+}  // namespace sfi

@@ -1,0 +1,43 @@
+// Parameter-sweep drivers: frequency sweeps at fixed voltage/noise,
+// voltage sweeps at fixed frequency (Fig. 7), and point-of-first-failure
+// (PoFF) extraction.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mc/montecarlo.hpp"
+
+namespace sfi {
+
+/// `n` evenly spaced values from lo to hi inclusive (n >= 2), or {lo}.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+/// Values lo, lo+step, ... up to hi inclusive (within 1e-9 tolerance).
+std::vector<double> arange(double lo, double hi, double step);
+
+/// Optional per-point progress callback (e.g. console dots).
+using SweepProgress = std::function<void(const PointSummary&)>;
+
+/// Runs one Monte-Carlo point per frequency, voltage/noise from `base`.
+std::vector<PointSummary> frequency_sweep(MonteCarloRunner& runner,
+                                          OperatingPoint base,
+                                          const std::vector<double>& freqs_mhz,
+                                          const SweepProgress& progress = {});
+
+/// Runs one point per supply voltage at fixed frequency (Fig. 7 x-axis).
+std::vector<PointSummary> voltage_sweep(MonteCarloRunner& runner,
+                                        OperatingPoint base,
+                                        const std::vector<double>& vdds,
+                                        const SweepProgress& progress = {});
+
+/// Point of first failure: the lowest frequency at which not every trial
+/// finished with a 100 % correct result (paper §4.2). Requires the sweep
+/// to be ordered by increasing frequency. std::nullopt if none fails.
+std::optional<double> find_poff_mhz(const std::vector<PointSummary>& sweep);
+
+/// Frequency gain of the PoFF over the STA limit, in percent (can be
+/// negative when noise pushes failures below the STA limit).
+double poff_gain_percent(double poff_mhz, double sta_mhz);
+
+}  // namespace sfi

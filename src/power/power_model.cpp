@@ -1,0 +1,58 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfi {
+
+PowerModel::PowerModel(PowerModelConfig config) : config_(config) {
+    if (config_.ref_v_high <= config_.ref_v_low)
+        throw std::invalid_argument("PowerModel: reference voltages out of order");
+    // Least-squares fit of P = k V^2 through the two reference points.
+    const double x1 = config_.ref_v_low * config_.ref_v_low;
+    const double x2 = config_.ref_v_high * config_.ref_v_high;
+    const double y1 = config_.ref_uw_per_mhz_low;
+    const double y2 = config_.ref_uw_per_mhz_high;
+    k_uw_per_mhz_v2_ = (x1 * y1 + x2 * y2) / (x1 * x1 + x2 * x2);
+}
+
+double PowerModel::active_uw_per_mhz(double v) const {
+    return k_uw_per_mhz_v2_ * v * v;
+}
+
+double PowerModel::leakage_fraction(double v) const {
+    const double t = (v - config_.ref_v_low) /
+                     (config_.ref_v_high - config_.ref_v_low);
+    const double clamped = std::clamp(t, 0.0, 1.0);
+    return config_.leak_frac_low +
+           clamped * (config_.leak_frac_high - config_.leak_frac_low);
+}
+
+double PowerModel::core_power_uw(double v, double freq_mhz) const {
+    const double active = active_uw_per_mhz(v) * freq_mhz;
+    // leakage is the stated fraction of *total* power: total = active/(1-l).
+    return active / (1.0 - leakage_fraction(v));
+}
+
+double PowerModel::normalized_power(double v, double v_nom) const {
+    return core_power_uw(v, 1.0) / core_power_uw(v_nom, 1.0);
+}
+
+double PowerModel::voltage_for_slowdown(const VddDelayFit& fit, double v_nom,
+                                        double slowdown) {
+    if (slowdown < 1.0)
+        throw std::invalid_argument("voltage_for_slowdown: slowdown must be >= 1");
+    const double target = fit.factor(v_nom) * slowdown;
+    double lo = 0.45, hi = v_nom;  // delay decreases with voltage
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (fit.factor(mid) > target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace sfi

@@ -1,0 +1,54 @@
+// Core power model (paper §4.4, footnote 2).
+//
+// The paper reduces power to two VCD-based post-layout reference points —
+// 10.9 µW/MHz @ 0.6 V and 15.0 µW/MHz @ 0.7 V, with 2 % / 3 % leakage —
+// and scales active power quadratically with supply voltage between them.
+// We implement exactly that model: P_active(V, f) = k · V^2 · f with k
+// fitted to the reference points, plus the stated leakage fraction.
+#pragma once
+
+#include "timing/vdd_model.hpp"
+
+namespace sfi {
+
+struct PowerModelConfig {
+    double ref_v_low = 0.6;
+    double ref_uw_per_mhz_low = 10.9;
+    double leak_frac_low = 0.02;
+    double ref_v_high = 0.7;
+    double ref_uw_per_mhz_high = 15.0;
+    double leak_frac_high = 0.03;
+};
+
+class PowerModel {
+public:
+    explicit PowerModel(PowerModelConfig config = {});
+
+    /// Active (switching) energy coefficient at voltage `v`, µW per MHz.
+    double active_uw_per_mhz(double v) const;
+
+    /// Leakage fraction of total core power at voltage `v` (interpolated
+    /// between the reference points, clamped outside).
+    double leakage_fraction(double v) const;
+
+    /// Total core power (µW) at voltage `v`, clock `freq_mhz`.
+    double core_power_uw(double v, double freq_mhz) const;
+
+    /// Core power at (v, f) normalized to the power at (v_nom, f) —
+    /// the x-axis of the paper's Fig. 7 (fixed frequency, scaled supply).
+    double normalized_power(double v, double v_nom) const;
+
+    /// Finds the supply voltage (by bisection on the fit) whose delay is
+    /// `slowdown` times the delay at `v_nom`: converts frequency-over-
+    /// scaling headroom into an equivalent voltage reduction (§4.4).
+    static double voltage_for_slowdown(const VddDelayFit& fit, double v_nom,
+                                       double slowdown);
+
+    const PowerModelConfig& config() const { return config_; }
+
+private:
+    PowerModelConfig config_;
+    double k_uw_per_mhz_v2_;  // fitted quadratic coefficient
+};
+
+}  // namespace sfi

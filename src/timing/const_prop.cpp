@@ -1,0 +1,82 @@
+#include "timing/const_prop.hpp"
+
+namespace sfi {
+
+namespace {
+
+constexpr NetConst kX = NetConst::Variable;
+
+NetConst nc(bool v) { return v ? NetConst::One : NetConst::Zero; }
+
+NetConst eval3(CellType type, NetConst a, NetConst b, NetConst c) {
+    switch (type) {
+        case CellType::Input: return kX;  // overwritten by caller for fixed bits
+        case CellType::Tie0: return NetConst::Zero;
+        case CellType::Tie1: return NetConst::One;
+        case CellType::Buf: return a;
+        case CellType::Inv:
+            return a == kX ? kX : nc(a == NetConst::Zero);
+        case CellType::And2:
+            if (a == NetConst::Zero || b == NetConst::Zero) return NetConst::Zero;
+            if (a == NetConst::One && b == NetConst::One) return NetConst::One;
+            return kX;
+        case CellType::Nand2:
+            if (a == NetConst::Zero || b == NetConst::Zero) return NetConst::One;
+            if (a == NetConst::One && b == NetConst::One) return NetConst::Zero;
+            return kX;
+        case CellType::Or2:
+            if (a == NetConst::One || b == NetConst::One) return NetConst::One;
+            if (a == NetConst::Zero && b == NetConst::Zero) return NetConst::Zero;
+            return kX;
+        case CellType::Nor2:
+            if (a == NetConst::One || b == NetConst::One) return NetConst::Zero;
+            if (a == NetConst::Zero && b == NetConst::Zero) return NetConst::One;
+            return kX;
+        case CellType::Xor2:
+            if (a == kX || b == kX) return kX;
+            return nc(a != b);
+        case CellType::Xnor2:
+            if (a == kX || b == kX) return kX;
+            return nc(a == b);
+        case CellType::Mux2:  // a=sel, b=d0, c=d1
+            if (a == NetConst::Zero) return b;
+            if (a == NetConst::One) return c;
+            if (b != kX && b == c) return b;  // both data inputs agree
+            return kX;
+        case CellType::kCount: break;
+    }
+    return kX;
+}
+
+}  // namespace
+
+std::vector<NetConst> propagate_constants(
+    const Netlist& netlist,
+    const std::map<std::string, std::uint64_t>& fixed_inputs) {
+    std::vector<NetConst> state(netlist.cell_count(), kX);
+    // Pin the fixed input bits first (creation order = topological order,
+    // so a single forward sweep afterwards is exact).
+    for (const auto& [bus, value] : fixed_inputs) {
+        const auto& nets = netlist.input_bus(bus);
+        for (std::size_t bit = 0; bit < nets.size(); ++bit)
+            if (nets[bit] != kNoNet) state[nets[bit]] = nc((value >> bit) & 1u);
+    }
+    for (NetId id = 0; id < netlist.cell_count(); ++id) {
+        const Cell& cell = netlist.cell(id);
+        if (cell.type == CellType::Input) continue;  // keep pinned/X state
+        const NetConst a = cell.fanin[0] != kNoNet ? state[cell.fanin[0]] : kX;
+        const NetConst b = cell.fanin[1] != kNoNet ? state[cell.fanin[1]] : kX;
+        const NetConst c = cell.fanin[2] != kNoNet ? state[cell.fanin[2]] : kX;
+        state[id] = eval3(cell.type, a, b, c);
+    }
+    return state;
+}
+
+std::size_t count_variable(const std::vector<NetConst>& state) {
+    std::size_t n = 0;
+    for (NetConst s : state)
+        if (s == NetConst::Variable) ++n;
+    return n;
+}
+
+}  // namespace sfi

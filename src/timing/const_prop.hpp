@@ -1,0 +1,33 @@
+// Three-valued constant propagation over a netlist.
+//
+// Given fixed values for some input buses (typically the ALU "op" bus,
+// which is stable while an instruction computes), determines which nets
+// are constant. Instruction-conditioned STA and the event-driven timing
+// simulator both use this to restrict themselves to the logic cone a
+// given instruction class can actually exercise — the mechanism behind
+// the "instruction aware" column of the paper's model table (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sfi {
+
+/// Per-net constant state.
+enum class NetConst : std::int8_t { Zero = 0, One = 1, Variable = -1 };
+
+/// Propagates `fixed_inputs` (bus name -> packed value) through the
+/// netlist. Input bits not covered by `fixed_inputs` are Variable.
+/// Unknown bus names throw std::out_of_range.
+std::vector<NetConst> propagate_constants(
+    const Netlist& netlist,
+    const std::map<std::string, std::uint64_t>& fixed_inputs);
+
+/// Number of Variable nets in a propagation result.
+std::size_t count_variable(const std::vector<NetConst>& state);
+
+}  // namespace sfi

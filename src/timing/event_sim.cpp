@@ -1,0 +1,173 @@
+#include "timing/event_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "timing/const_prop.hpp"
+
+namespace sfi {
+
+EventSim::EventSim(const Netlist& netlist, const InstanceTiming& timing,
+                   std::map<std::string, std::uint64_t> fixed_inputs,
+                   std::string watch_bus, EventSimConfig config)
+    : netlist_(&netlist), fixed_inputs_(std::move(fixed_inputs)) {
+    const std::size_t count = netlist.cell_count();
+    value_.assign(count, 0);
+    pending_valid_.assign(count, 0);
+    pending_value_.assign(count, 0);
+    seq_.assign(count, 0);
+    rise_fs_.resize(count);
+    fall_fs_.resize(count);
+    for (NetId id = 0; id < count; ++id) {
+        rise_fs_[id] = std::llround(timing.rise_ps(id) * 1000.0);
+        fall_fs_[id] = std::llround(timing.fall_ps(id) * 1000.0);
+    }
+    clk_to_q_fs_ = std::llround(
+        (config.clk_to_q_ps < 0.0 ? timing.clk_to_q_ps() : config.clk_to_q_ps) *
+        1000.0);
+
+    // Constant-propagate the fixed inputs; only variable cells are active.
+    const auto constants = propagate_constants(netlist, fixed_inputs_);
+    is_active_.assign(count, 0);
+    for (NetId id = 0; id < count; ++id)
+        is_active_[id] = constants[id] == NetConst::Variable;
+    active_cells_ = static_cast<std::size_t>(
+        std::count(is_active_.begin(), is_active_.end(), std::uint8_t{1}));
+
+    // CSR fanout adjacency restricted to active sinks.
+    std::vector<std::uint32_t> degree(count, 0);
+    for (NetId id = 0; id < count; ++id) {
+        if (!is_active_[id]) continue;
+        const Cell& cell = netlist.cell(id);
+        const unsigned n = cell_fanin_count(cell.type);
+        for (unsigned i = 0; i < n; ++i) ++degree[cell.fanin[i]];
+    }
+    fanout_offset_.assign(count + 1, 0);
+    for (NetId id = 0; id < count; ++id)
+        fanout_offset_[id + 1] = fanout_offset_[id] + degree[id];
+    fanout_edges_.resize(fanout_offset_[count]);
+    std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                      fanout_offset_.end() - 1);
+    for (NetId id = 0; id < count; ++id) {
+        if (!is_active_[id]) continue;
+        const Cell& cell = netlist.cell(id);
+        const unsigned n = cell_fanin_count(cell.type);
+        for (unsigned i = 0; i < n; ++i)
+            fanout_edges_[cursor[cell.fanin[i]]++] = id;
+    }
+
+    // Watch list.
+    watch_nets_ = netlist.output_bus(watch_bus);
+    watch_index_.assign(count, -1);
+    for (std::size_t bit = 0; bit < watch_nets_.size(); ++bit)
+        if (watch_nets_[bit] != kNoNet)
+            watch_index_[watch_nets_[bit]] = static_cast<std::int32_t>(bit);
+    arrival_ps_.assign(watch_nets_.size(), 0.0);
+
+    // Register the variable input buses (everything not fixed).
+    for (const auto& [bus, nets] : netlist.input_buses())
+        if (!fixed_inputs_.count(bus)) staged_[bus] = {nets, 0};
+}
+
+void EventSim::set_input(const std::string& bus, std::uint64_t value) {
+    const auto it = staged_.find(bus);
+    if (it == staged_.end())
+        throw std::invalid_argument("EventSim: unknown or fixed input bus " + bus);
+    it->second.second = value;
+}
+
+bool EventSim::eval_cell(NetId id) const {
+    const Cell& cell = netlist_->cell(id);
+    const bool a = cell.fanin[0] != kNoNet && value_[cell.fanin[0]];
+    const bool b = cell.fanin[1] != kNoNet && value_[cell.fanin[1]];
+    const bool c = cell.fanin[2] != kNoNet && value_[cell.fanin[2]];
+    return cell_eval(cell.type, a, b, c);
+}
+
+void EventSim::initialize() {
+    std::vector<std::uint8_t> values(netlist_->cell_count(), 0);
+    for (const auto& [bus, value] : fixed_inputs_) {
+        const auto& nets = netlist_->input_bus(bus);
+        for (std::size_t bit = 0; bit < nets.size(); ++bit)
+            if (nets[bit] != kNoNet) values[nets[bit]] = (value >> bit) & 1u;
+    }
+    for (const auto& [bus, staged] : staged_) {
+        const auto& [nets, value] = staged;
+        for (std::size_t bit = 0; bit < nets.size(); ++bit)
+            if (nets[bit] != kNoNet) values[nets[bit]] = (value >> bit) & 1u;
+    }
+    netlist_->eval_into(values);
+    value_ = std::move(values);
+    std::fill(pending_valid_.begin(), pending_valid_.end(), 0);
+    heap_.clear();
+    initialized_ = true;
+}
+
+void EventSim::schedule_input_change(NetId net, bool value) {
+    if (value_[net] == static_cast<std::uint8_t>(value)) return;
+    ++seq_[net];
+    pending_valid_[net] = 1;
+    pending_value_[net] = value;
+    heap_.push_back(Event{clk_to_q_fs_, net, static_cast<std::uint8_t>(value),
+                          seq_[net]});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void EventSim::propagate(NetId net, std::int64_t now_fs) {
+    for (std::uint32_t e = fanout_offset_[net]; e < fanout_offset_[net + 1]; ++e) {
+        const NetId gate = fanout_edges_[e];
+        const bool target = eval_cell(gate);
+        const std::uint8_t effective =
+            pending_valid_[gate] ? pending_value_[gate] : value_[gate];
+        if (static_cast<std::uint8_t>(target) == effective) continue;
+        if (static_cast<std::uint8_t>(target) == value_[gate]) {
+            // Inertial cancellation: the pending pulse never happens.
+            ++seq_[gate];
+            pending_valid_[gate] = 0;
+            continue;
+        }
+        ++seq_[gate];
+        pending_valid_[gate] = 1;
+        pending_value_[gate] = target;
+        const std::int64_t delay = target ? rise_fs_[gate] : fall_fs_[gate];
+        heap_.push_back(Event{now_fs + delay, gate,
+                              static_cast<std::uint8_t>(target), seq_[gate]});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+}
+
+const std::vector<double>& EventSim::settle() {
+    assert(initialized_ && "EventSim::initialize() must be called first");
+    std::fill(arrival_ps_.begin(), arrival_ps_.end(), 0.0);
+    for (const auto& [bus, staged] : staged_) {
+        const auto& [nets, value] = staged;
+        for (std::size_t bit = 0; bit < nets.size(); ++bit)
+            if (nets[bit] != kNoNet)
+                schedule_input_change(nets[bit], (value >> bit) & 1u);
+    }
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const Event ev = heap_.back();
+        heap_.pop_back();
+        if (ev.seq != seq_[ev.net]) continue;  // cancelled
+        pending_valid_[ev.net] = 0;
+        if (value_[ev.net] == ev.value) continue;
+        value_[ev.net] = ev.value;
+        ++total_events_;
+        const std::int32_t w = watch_index_[ev.net];
+        if (w >= 0)
+            arrival_ps_[static_cast<std::size_t>(w)] =
+                static_cast<double>(ev.time_fs) / 1000.0;
+        propagate(ev.net, ev.time_fs);
+    }
+    return arrival_ps_;
+}
+
+bool EventSim::watched_value(std::size_t bit) const {
+    const NetId net = watch_nets_.at(bit);
+    return net != kNoNet && value_[net];
+}
+
+}  // namespace sfi

@@ -1,0 +1,101 @@
+// Event-driven gate-level timing simulation with inertial delays.
+//
+// This is the "dynamic timing analysis" engine (paper §3.4, following
+// [14]): for each simulated cycle the operand inputs switch from their
+// previous values to new values at the clock edge (plus clk->q), events
+// propagate through the netlist with per-cell rise/fall delays, and the
+// *last* transition time observed at each endpoint is its data arrival
+// time for that cycle. Glitches propagate (inertial filtering only
+// suppresses pulses shorter than a cell's own delay, as real gates do).
+//
+// Inputs fixed at construction (the ALU "op" bus) are constant-propagated
+// first; only the variable cone is simulated, so characterizing e.g. the
+// add instruction never touches the multiplier array.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/timing_lib.hpp"
+
+namespace sfi {
+
+struct EventSimConfig {
+    /// Launch delay of the operand registers; negative = use the value
+    /// annotated in the timing library (the default, keeps STA and event
+    /// simulation in the same time reference).
+    double clk_to_q_ps = -1.0;
+};
+
+class EventSim {
+public:
+    /// `fixed_inputs` pins buses for the lifetime of the simulator.
+    /// `watch_bus` names the output bus whose arrival times are recorded.
+    EventSim(const Netlist& netlist, const InstanceTiming& timing,
+             std::map<std::string, std::uint64_t> fixed_inputs,
+             std::string watch_bus = "y", EventSimConfig config = {});
+
+    /// Stages a new value for a variable input bus (applied by settle()).
+    void set_input(const std::string& bus, std::uint64_t value);
+
+    /// Establishes a known steady state from the staged inputs without
+    /// timing (functional evaluation). Call once before the first settle().
+    void initialize();
+
+    /// Simulates one cycle: staged input changes switch at clk->q, events
+    /// propagate to quiescence. Returns per-watched-bit arrival times in
+    /// ps (0.0 for bits that did not toggle, i.e. cannot mis-capture).
+    const std::vector<double>& settle();
+
+    /// Current logic value of watched bit `bit`.
+    bool watched_value(std::size_t bit) const;
+
+    std::size_t active_cell_count() const { return active_cells_; }
+    std::uint64_t total_events() const { return total_events_; }
+    std::size_t watch_width() const { return arrival_ps_.size(); }
+
+private:
+    struct Event {
+        std::int64_t time_fs;
+        NetId net;
+        std::uint8_t value;
+        std::uint32_t seq;
+        bool operator>(const Event& other) const { return time_fs > other.time_fs; }
+    };
+
+    bool eval_cell(NetId id) const;
+    void schedule_input_change(NetId net, bool value);
+    void propagate(NetId net, std::int64_t now_fs);
+
+    const Netlist* netlist_;
+    std::vector<std::uint8_t> value_;
+    std::vector<std::uint8_t> pending_valid_;
+    std::vector<std::uint8_t> pending_value_;
+    std::vector<std::uint32_t> seq_;
+    std::vector<std::int64_t> rise_fs_;
+    std::vector<std::int64_t> fall_fs_;
+
+    // Active-cone fanout adjacency (CSR layout).
+    std::vector<std::uint32_t> fanout_offset_;
+    std::vector<NetId> fanout_edges_;
+    std::vector<std::uint8_t> is_active_;
+
+    std::vector<Event> heap_;  // std::push_heap/pop_heap min-heap
+    std::vector<std::int32_t> watch_index_;
+    std::vector<double> arrival_ps_;
+    std::vector<NetId> watch_nets_;
+
+    // Variable input buses and staged values.
+    std::map<std::string, std::pair<std::vector<NetId>, std::uint64_t>> staged_;
+    std::map<std::string, std::uint64_t> fixed_inputs_;
+
+    std::int64_t clk_to_q_fs_;
+    std::size_t active_cells_ = 0;
+    std::uint64_t total_events_ = 0;
+    bool initialized_ = false;
+};
+
+}  // namespace sfi

@@ -1,0 +1,96 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+
+#include "timing/const_prop.hpp"
+
+namespace sfi {
+
+double StaResult::min_period_ps(double delay_factor) const {
+    return (worst_ps + setup_ps) * delay_factor;
+}
+
+double StaResult::fmax_mhz(double delay_factor) const {
+    const double period = min_period_ps(delay_factor);
+    return period > 0.0 ? 1.0e6 / period : 0.0;
+}
+
+namespace {
+
+StaResult sta_impl(const Netlist& netlist, const InstanceTiming& timing,
+                   const std::vector<NetConst>* constants,
+                   const std::string& out_bus) {
+    const std::size_t count = netlist.cell_count();
+    StaResult result;
+    result.setup_ps = timing.setup_ps();
+    result.arrival_ps.assign(count, 0.0);
+    std::vector<NetId> pred(count, kNoNet);
+
+    auto is_const = [&](NetId id) {
+        return constants && (*constants)[id] != NetConst::Variable;
+    };
+
+    for (NetId id = 0; id < count; ++id) {
+        const Cell& cell = netlist.cell(id);
+        const unsigned n = cell_fanin_count(cell.type);
+        if (n == 0) {
+            // Primary inputs launch at the register clk->Q delay.
+            if (cell.type == CellType::Input)
+                result.arrival_ps[id] = timing.clk_to_q_ps();
+            continue;
+        }
+        if (is_const(id)) continue;  // constant nets never transition
+        double best = -1.0;
+        NetId best_pred = kNoNet;
+        for (unsigned i = 0; i < n; ++i) {
+            const NetId in = cell.fanin[i];
+            if (is_const(in)) continue;  // constant pins launch no transition
+            // A mux with a constant select blocks its de-selected data pin:
+            // transitions there cannot reach the output.
+            if (cell.type == CellType::Mux2 && i >= 1 && constants &&
+                (*constants)[cell.fanin[0]] != NetConst::Variable) {
+                const bool sel = (*constants)[cell.fanin[0]] == NetConst::One;
+                if ((sel && i == 1) || (!sel && i == 2)) continue;
+            }
+            if (result.arrival_ps[in] > best) {
+                best = result.arrival_ps[in];
+                best_pred = in;
+            }
+        }
+        if (best < 0.0) continue;  // all contributing fanins are constant
+        result.arrival_ps[id] = best + timing.max_ps(id);
+        pred[id] = best_pred;
+    }
+
+    const auto& outs = netlist.output_bus(out_bus);
+    result.endpoint_ps.assign(outs.size(), 0.0);
+    NetId worst_net = kNoNet;
+    for (std::size_t bit = 0; bit < outs.size(); ++bit) {
+        if (outs[bit] == kNoNet) continue;
+        result.endpoint_ps[bit] = result.arrival_ps[outs[bit]];
+        if (result.endpoint_ps[bit] >= result.worst_ps) {
+            result.worst_ps = result.endpoint_ps[bit];
+            worst_net = outs[bit];
+        }
+    }
+    for (NetId at = worst_net; at != kNoNet; at = pred[at])
+        result.critical_path.push_back(at);
+    std::reverse(result.critical_path.begin(), result.critical_path.end());
+    return result;
+}
+
+}  // namespace
+
+StaResult run_sta(const Netlist& netlist, const InstanceTiming& timing,
+                  const std::string& out_bus) {
+    return sta_impl(netlist, timing, nullptr, out_bus);
+}
+
+StaResult run_sta(const Netlist& netlist, const InstanceTiming& timing,
+                  const std::map<std::string, std::uint64_t>& fixed_inputs,
+                  const std::string& out_bus) {
+    const auto constants = propagate_constants(netlist, fixed_inputs);
+    return sta_impl(netlist, timing, &constants, out_bus);
+}
+
+}  // namespace sfi

@@ -1,0 +1,49 @@
+// Static timing analysis: topological worst-case arrival times.
+//
+// This is the timing view behind fault model B (paper §3.2): per-endpoint
+// worst-case path delays, independent of data and (optionally) of the
+// executed instruction. Arrival times are at the reference voltage;
+// operating-point scaling is applied by the caller via VddDelayFit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/timing_lib.hpp"
+
+namespace sfi {
+
+struct StaResult {
+    /// Worst-case arrival per net (ps @ Vref); 0 for constant/input nets.
+    std::vector<double> arrival_ps;
+    /// Worst-case arrival per bit of the analysed output bus.
+    std::vector<double> endpoint_ps;
+    /// Worst endpoint arrival (max of endpoint_ps).
+    double worst_ps = 0.0;
+    /// Flip-flop setup time (ps @ Vref) to add before comparing to clocks.
+    double setup_ps = 0.0;
+    /// Nets of the critical path, input to worst endpoint.
+    std::vector<NetId> critical_path;
+
+    /// Maximum safe clock frequency in MHz when operating at a supply
+    /// point with the given delay factor (factor 1.0 = Vref).
+    double fmax_mhz(double delay_factor = 1.0) const;
+    /// Minimum safe clock period (ps) at the given delay factor.
+    double min_period_ps(double delay_factor = 1.0) const;
+};
+
+/// Full-netlist STA on output bus `out_bus`.
+StaResult run_sta(const Netlist& netlist, const InstanceTiming& timing,
+                  const std::string& out_bus = "y");
+
+/// Instruction-conditioned STA: nets made constant by `fixed_inputs`
+/// (e.g. the ALU op code) neither delay nor propagate transitions.
+StaResult run_sta(const Netlist& netlist, const InstanceTiming& timing,
+                  const std::map<std::string, std::uint64_t>& fixed_inputs,
+                  const std::string& out_bus = "y");
+
+}  // namespace sfi

@@ -1,0 +1,124 @@
+#include "timing/timing_lib.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sfi {
+
+namespace {
+
+// Intrinsic delays at Vref=1.0 V, FO1, picoseconds. Values are
+// representative of a 28 nm standard-Vt library (regular drive cells);
+// absolute accuracy is not required because the calibration stage scales
+// whole units to the paper's block-level targets — the *ratios* between
+// cell types are what shapes the path-delay distributions.
+struct BaseDelay {
+    double rise, fall;
+};
+
+BaseDelay base_delay(CellType type) {
+    switch (type) {
+        case CellType::Input:
+        case CellType::Tie0:
+        case CellType::Tie1: return {0.0, 0.0};
+        case CellType::Buf: return {16.0, 16.0};
+        case CellType::Inv: return {9.0, 7.0};
+        case CellType::Nand2: return {12.0, 10.0};
+        case CellType::Nor2: return {16.0, 11.0};
+        case CellType::And2: return {18.0, 16.0};
+        case CellType::Or2: return {20.0, 17.0};
+        case CellType::Xor2: return {26.0, 24.0};
+        case CellType::Xnor2: return {26.0, 24.0};
+        case CellType::Mux2: return {24.0, 22.0};
+        case CellType::kCount: break;
+    }
+    throw std::invalid_argument("base_delay: bad cell type");
+}
+
+}  // namespace
+
+TimingLib::TimingLib(TimingLibConfig config)
+    : config_(config), law_(config.vdd), fit_(VddDelayFit::from_law(law_)) {
+    if (config_.load_per_fanout < 0.0 || config_.process_sigma < 0.0 ||
+        config_.ff_setup_ps < 0.0 || config_.clk_to_q_ps < 0.0)
+        throw std::invalid_argument("TimingLib: negative config parameter");
+    per_type_law_.reserve(static_cast<std::size_t>(CellType::kCount));
+    for (std::size_t t = 0; t < static_cast<std::size_t>(CellType::kCount); ++t) {
+        VddDelayLaw::Params params = config_.vdd;
+        if (config_.cell_alpha_spread > 0.0) {
+            // Deterministic per-type offset in [-1, 1]: splitmix-style hash
+            // of the type index, so the assignment is stable across runs.
+            std::uint64_t z = (t + 1) * 0x9e3779b97f4a7c15ULL;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            const double unit =
+                static_cast<double>(z >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+            params.alpha *= 1.0 + config_.cell_alpha_spread * unit;
+        }
+        per_type_law_.emplace_back(params);
+    }
+}
+
+double TimingLib::voltage_factor(CellType type, double v) const {
+    return per_type_law_[static_cast<std::size_t>(type)].factor(v);
+}
+
+double TimingLib::intrinsic_rise_ps(CellType type) const {
+    return base_delay(type).rise;
+}
+
+double TimingLib::intrinsic_fall_ps(CellType type) const {
+    return base_delay(type).fall;
+}
+
+InstanceTiming::InstanceTiming(const Netlist& netlist, const TimingLib& lib)
+    : netlist_(&netlist),
+      lib_(&lib),
+      setup_ps_(lib.ff_setup_ps()),
+      clk_to_q_ps_(lib.config().clk_to_q_ps) {
+    const std::size_t count = netlist.cell_count();
+    rise_.resize(count);
+    fall_.resize(count);
+    const auto& fanout = netlist.fanout_counts();
+    Rng rng(lib.config().process_seed);
+    const double sigma = lib.config().process_sigma;
+    const double load = lib.config().load_per_fanout;
+    for (NetId id = 0; id < count; ++id) {
+        const CellType type = netlist.cell(id).type;
+        // One normal draw per cell keeps the process assignment
+        // deterministic and independent of which delays are queried.
+        const double process = std::exp(sigma * rng.normal());
+        const double extra = fanout[id] > 1
+                                 ? 1.0 + load * static_cast<double>(fanout[id] - 1)
+                                 : 1.0;
+        rise_[id] = lib.intrinsic_rise_ps(type) * extra * process;
+        fall_[id] = lib.intrinsic_fall_ps(type) * extra * process;
+    }
+}
+
+InstanceTiming InstanceTiming::at_voltage(double v) const {
+    InstanceTiming scaled = *this;
+    for (NetId id = 0; id < scaled.rise_.size(); ++id) {
+        const double factor = lib_->voltage_factor(netlist_->cell(id).type, v);
+        scaled.rise_[id] *= factor;
+        scaled.fall_[id] *= factor;
+    }
+    const double base = lib_->law().factor(v);
+    scaled.setup_ps_ *= base;
+    scaled.clk_to_q_ps_ *= base;
+    return scaled;
+}
+
+void InstanceTiming::apply_cell_scale(const std::vector<double>& scale) {
+    if (scale.size() != rise_.size())
+        throw std::invalid_argument("apply_cell_scale: size mismatch");
+    for (std::size_t id = 0; id < scale.size(); ++id) {
+        if (scale[id] <= 0.0)
+            throw std::invalid_argument("apply_cell_scale: non-positive scale");
+        rise_[id] *= scale[id];
+        fall_[id] *= scale[id];
+    }
+}
+
+}  // namespace sfi

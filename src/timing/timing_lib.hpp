@@ -1,0 +1,104 @@
+// Standard-cell timing library and per-instance delay annotation.
+//
+// TimingLib plays the role of the foundry Liberty views: per-cell-type
+// intrinsic rise/fall delays (28 nm-flavoured), a fanout-load derate, a
+// flip-flop setup time, and the voltage law used to characterize the
+// library corners. All annotated delays are expressed at the reference
+// voltage (1.0 V); operating-point and noise effects enter later as a
+// single multiplicative delay factor (see vdd_model.hpp), which matches
+// the paper's approximation that paths scale uniformly with voltage.
+//
+// InstanceTiming binds a library to one netlist: every cell gets
+//   delay = intrinsic * (1 + load_per_fanout * (fanout - 1))
+//           * process_factor(cell) * calibration_scale(cell)
+// where process_factor is a deterministic per-cell lognormal sample
+// (process variation across the die) and calibration_scale is set by the
+// synthesis-emulation calibration (see calibration.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/vdd_model.hpp"
+
+namespace sfi {
+
+struct TimingLibConfig {
+    double load_per_fanout = 0.12;  ///< fractional delay per extra fanout
+    double process_sigma = 0.03;    ///< lognormal sigma of per-cell variation
+    std::uint64_t process_seed = 0x5f12c0deULL;
+    double ff_setup_ps = 45.0;      ///< endpoint flip-flop setup @ Vref
+    double clk_to_q_ps = 50.0;      ///< operand register launch delay @ Vref
+    VddDelayLaw::Params vdd;        ///< voltage law for corner generation
+    /// Per-cell-type spread of the voltage-law exponent: with a non-zero
+    /// spread, cell types scale slightly differently with voltage (gates
+    /// of different stack heights really do), so paths no longer scale
+    /// uniformly. Used to *validate* the paper's uniform-scaling
+    /// approximation (footnote 1): see per-voltage DTA in fi/multi_vdd.hpp
+    /// and the voltage ablation bench.
+    double cell_alpha_spread = 0.0;
+};
+
+class TimingLib {
+public:
+    explicit TimingLib(TimingLibConfig config = {});
+
+    /// Intrinsic (zero-extra-load) delays at Vref, picoseconds.
+    double intrinsic_rise_ps(CellType type) const;
+    double intrinsic_fall_ps(CellType type) const;
+
+    double ff_setup_ps() const { return config_.ff_setup_ps; }
+    const TimingLibConfig& config() const { return config_; }
+    const VddDelayLaw& law() const { return law_; }
+
+    /// The voltage fit the simulator uses (five-corner interpolation of
+    /// the law, paper §3.3).
+    const VddDelayFit& fit() const { return fit_; }
+
+    /// Per-cell-type delay factor at voltage `v` relative to Vref. Equals
+    /// law().factor(v) for every type when cell_alpha_spread is zero.
+    double voltage_factor(CellType type, double v) const;
+
+private:
+    TimingLibConfig config_;
+    VddDelayLaw law_;
+    VddDelayFit fit_;
+    std::vector<VddDelayLaw> per_type_law_;  // indexed by CellType
+};
+
+/// Per-cell annotated delays for one netlist, at Vref.
+class InstanceTiming {
+public:
+    InstanceTiming(const Netlist& netlist, const TimingLib& lib);
+
+    double rise_ps(NetId id) const { return rise_[id]; }
+    double fall_ps(NetId id) const { return fall_[id]; }
+    double max_ps(NetId id) const { return rise_[id] > fall_[id] ? rise_[id] : fall_[id]; }
+    double setup_ps() const { return setup_ps_; }
+    double clk_to_q_ps() const { return clk_to_q_ps_; }
+    std::size_t cell_count() const { return rise_.size(); }
+
+    /// Applies (multiplies in) per-cell calibration scale factors.
+    /// `scale` must have one entry per cell.
+    void apply_cell_scale(const std::vector<double>& scale);
+
+    /// Re-characterizes this instance at supply voltage `v`: every cell's
+    /// delays are multiplied by its type's voltage factor, and setup /
+    /// clk->Q scale with the base law. Arrival times computed from the
+    /// result are in absolute picoseconds at that voltage.
+    InstanceTiming at_voltage(double v) const;
+
+    const TimingLib& lib() const { return *lib_; }
+    const Netlist& netlist() const { return *netlist_; }
+
+private:
+    const Netlist* netlist_;
+    const TimingLib* lib_;
+    std::vector<double> rise_;
+    std::vector<double> fall_;
+    double setup_ps_;
+    double clk_to_q_ps_;
+};
+
+}  // namespace sfi

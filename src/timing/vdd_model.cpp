@@ -1,0 +1,57 @@
+#include "timing/vdd_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sfi {
+
+VddDelayLaw::VddDelayLaw(Params params) : params_(params) {
+    if (params_.vref <= params_.vth)
+        throw std::invalid_argument("VddDelayLaw: vref must exceed vth");
+    norm_ = params_.vref / std::pow(params_.vref - params_.vth, params_.alpha);
+}
+
+double VddDelayLaw::factor(double v) const {
+    if (v <= params_.vth + 0.01)
+        throw std::domain_error("VddDelayLaw: voltage too close to threshold");
+    return (v / std::pow(v - params_.vth, params_.alpha)) / norm_;
+}
+
+VddDelayFit::VddDelayFit(std::vector<double> voltages, std::vector<double> factors)
+    : voltages_(std::move(voltages)), factors_(std::move(factors)) {
+    if (voltages_.size() < 2 || voltages_.size() != factors_.size())
+        throw std::invalid_argument("VddDelayFit: need >= 2 matching samples");
+    for (std::size_t i = 1; i < voltages_.size(); ++i)
+        if (voltages_[i] <= voltages_[i - 1])
+            throw std::invalid_argument("VddDelayFit: voltages must increase");
+    log_factors_.reserve(factors_.size());
+    for (double f : factors_) {
+        if (f <= 0.0) throw std::invalid_argument("VddDelayFit: factors must be positive");
+        log_factors_.push_back(std::log(f));
+    }
+}
+
+VddDelayFit VddDelayFit::from_law(const VddDelayLaw& law) {
+    std::vector<double> volts(kLibraryVoltages.begin(), kLibraryVoltages.end());
+    std::vector<double> facts;
+    facts.reserve(volts.size());
+    for (double v : volts) facts.push_back(law.factor(v));
+    return VddDelayFit(std::move(volts), std::move(facts));
+}
+
+double VddDelayFit::factor(double v) const {
+    // Piecewise-linear interpolation of log(factor); end-slope
+    // extrapolation below/above the sampled range.
+    std::size_t hi = 1;
+    while (hi + 1 < voltages_.size() && voltages_[hi] < v) ++hi;
+    const std::size_t lo = hi - 1;
+    const double t = (v - voltages_[lo]) / (voltages_[hi] - voltages_[lo]);
+    const double lf = log_factors_[lo] + t * (log_factors_[hi] - log_factors_[lo]);
+    return std::exp(lf);
+}
+
+double VddDelayFit::noise_scale(double v, double dv) const {
+    return factor(v + dv) / factor(v);
+}
+
+}  // namespace sfi

@@ -1,0 +1,77 @@
+// Supply-voltage -> gate-delay modeling.
+//
+// Two layers, mirroring the paper's methodology (§3.3):
+//
+//  * VddDelayLaw — the "silicon": an alpha-power-law delay model,
+//    delay(V) ∝ V / (V - Vth)^alpha, normalized to 1.0 at Vref. The
+//    timing library uses it to characterize cells at discrete voltages.
+//    Default parameters are tuned to the paper's measured sensitivity
+//    (~3.4 %/10 mV at 0.7 V: model B+ first faults at 661 MHz for
+//    sigma = 10 mV and 588 MHz for 25 mV against a 707 MHz STA limit).
+//
+//  * VddDelayFit — what the simulator *uses*: the delay-vs-voltage curve
+//    interpolated from the worst-path delay sampled at the five library
+//    corners (0.6 V .. 1.0 V in 100 mV steps), exactly as the paper fits
+//    it. Piecewise-linear in log(delay), with slope extrapolation. The
+//    small law-vs-fit discrepancy is intentional realism.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace sfi {
+
+struct VddLawParams {
+    double vref = 1.0;    ///< voltage where the factor is 1.0
+    double vth = 0.42;    ///< effective threshold voltage [V]
+    double alpha = 1.37;  ///< velocity-saturation exponent
+};
+
+class VddDelayLaw {
+public:
+    using Params = VddLawParams;
+
+    explicit VddDelayLaw(Params params = {});
+
+    /// Delay multiplier at voltage `v` relative to Vref. Monotonically
+    /// decreasing in v; throws std::domain_error for v <= Vth + 10 mV.
+    double factor(double v) const;
+
+    const Params& params() const { return params_; }
+
+private:
+    Params params_;
+    double norm_;
+};
+
+/// The five characterization corners used throughout (paper §3.3).
+inline constexpr std::array<double, 5> kLibraryVoltages = {0.6, 0.7, 0.8, 0.9, 1.0};
+
+class VddDelayFit {
+public:
+    /// Builds the fit from (voltage, delay-factor) samples; at least two
+    /// samples, strictly increasing voltages.
+    VddDelayFit(std::vector<double> voltages, std::vector<double> factors);
+
+    /// Convenience: samples `law` at the five library corners.
+    static VddDelayFit from_law(const VddDelayLaw& law);
+
+    /// Interpolated delay factor at voltage `v` (linear in log-factor,
+    /// end-slope extrapolation outside the sampled range).
+    double factor(double v) const;
+
+    /// Relative delay change for a small supply excursion `dv` around `v`:
+    /// factor(v + dv) / factor(v). This is the "CDF scaling-factor" input
+    /// of model C (Fig. 3) and the path-delay modulation of model B+.
+    double noise_scale(double v, double dv) const;
+
+    const std::vector<double>& voltages() const { return voltages_; }
+    const std::vector<double>& factors() const { return factors_; }
+
+private:
+    std::vector<double> voltages_;
+    std::vector<double> factors_;
+    std::vector<double> log_factors_;
+};
+
+}  // namespace sfi

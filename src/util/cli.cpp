@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sfi {
+
+Cli::Cli(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--name value` when the next token is not itself an option,
+        // otherwise a boolean flag.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            options_[body] = argv[i + 1];
+            ++i;
+        } else {
+            options_[body] = "1";
+        }
+    }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+    const auto it = options_.find(name);
+    return it == options_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return def;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return def;
+    const std::string& v = it->second;
+    return !(v == "0" || v == "false" || v == "no" || v == "off");
+}
+
+}  // namespace sfi

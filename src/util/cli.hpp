@@ -1,0 +1,37 @@
+// Tiny command-line option parser for the bench/example binaries.
+// Supports `--name value`, `--name=value` and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sfi {
+
+class Cli {
+public:
+    /// Parses argv; unknown options are collected and reported by
+    /// `unknown()` so binaries can warn instead of aborting (google-benchmark
+    /// passes its own flags through).
+    Cli(int argc, const char* const* argv);
+
+    bool has(const std::string& name) const;
+    std::string get(const std::string& name, const std::string& def) const;
+    std::int64_t get_int(const std::string& name, std::int64_t def) const;
+    double get_double(const std::string& name, double def) const;
+    bool get_bool(const std::string& name, bool def) const;
+
+    /// Positional (non-option) arguments, in order.
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::vector<std::string>& unknown_flags() const { return unknown_; }
+    const std::string& program() const { return program_; }
+
+private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+    std::vector<std::string> unknown_;
+};
+
+}  // namespace sfi

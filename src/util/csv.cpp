@@ -1,0 +1,85 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sfi {
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string format_double(double v) {
+    if (std::isnan(v)) return "nan";
+    if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+    char buf[64];
+    // %.17g round-trips doubles but is noisy; try shorter first.
+    for (int prec : {6, 9, 12, 17}) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v) break;
+    }
+    return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << csv_escape(columns[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::put(const std::string& raw) {
+    if (row_open_) pending_ += ',';
+    pending_ += raw;
+    row_open_ = true;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+    put(csv_escape(value));
+    return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+    put(format_double(value));
+    return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+    put(std::to_string(value));
+    return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+    put(std::to_string(value));
+    return *this;
+}
+
+void CsvWriter::end_row() {
+    out_ << pending_ << '\n';
+    pending_.clear();
+    row_open_ = false;
+    ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+    for (double v : values) cell(v);
+    end_row();
+}
+
+}  // namespace sfi

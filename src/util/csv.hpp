@@ -1,0 +1,49 @@
+// Minimal CSV writer used by the benchmark harness to dump figure series
+// next to the human-readable console tables.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sfi {
+
+/// Writes one CSV file. Values are formatted with enough precision to
+/// round-trip doubles; strings containing separators/quotes are quoted.
+class CsvWriter {
+public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    explicit CsvWriter(const std::string& path);
+
+    /// Writes the header row. Must be called before any data row.
+    void header(const std::vector<std::string>& columns);
+
+    /// Starts accumulating a row; call cell() then end_row().
+    CsvWriter& cell(const std::string& value);
+    CsvWriter& cell(double value);
+    CsvWriter& cell(std::int64_t value);
+    CsvWriter& cell(std::uint64_t value);
+    void end_row();
+
+    /// Convenience: writes a full row of doubles.
+    void row(const std::vector<double>& values);
+
+    std::size_t rows_written() const { return rows_; }
+
+private:
+    void put(const std::string& raw);
+
+    std::ofstream out_;
+    std::string pending_;
+    bool row_open_ = false;
+    std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV field (quotes it when needed).
+std::string csv_escape(const std::string& field);
+
+/// Formats a double compactly but losslessly.
+std::string format_double(double v);
+
+}  // namespace sfi

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfi {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+    if (columns_.empty()) throw std::invalid_argument("TextTable needs columns");
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+    cells.resize(columns_.size());
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            os << (c ? "  " : "");
+            os << cells[c];
+            os << std::string(width[c] - cells[c].size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(columns_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string fmt_fixed(double v, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+std::string fmt_sci(double v, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    return buf;
+}
+
+std::string fmt_pct(double fraction01) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f%%", fraction01 * 100.0);
+    return buf;
+}
+
+}  // namespace sfi

@@ -1,0 +1,35 @@
+// Fixed-width console table printer: the bench binaries reproduce the
+// paper's tables/figure series as aligned text so diffs against
+// EXPERIMENTS.md stay readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfi {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> columns);
+
+    TextTable& add_row(std::vector<std::string> cells);
+    /// Renders with column alignment and a header separator.
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `prec` fractional digits (fixed notation).
+std::string fmt_fixed(double v, int prec);
+/// Formats `v` in engineering/scientific style with `prec` significant digits.
+std::string fmt_sci(double v, int prec);
+/// Formats a percentage with one fractional digit, e.g. "97.5%".
+std::string fmt_pct(double fraction01);
+
+}  // namespace sfi

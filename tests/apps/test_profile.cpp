@@ -1,0 +1,68 @@
+#include "apps/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sfi {
+namespace {
+
+TEST(Profile, MedianIsMultiplierFree) {
+    const KernelProfile p = profile_kernel(*make_benchmark(BenchmarkId::Median));
+    EXPECT_EQ(p.count(ExClass::Mul), 0u);
+    EXPECT_GT(p.count(ExClass::Cmp), 1000u);  // sort compares dominate
+    EXPECT_GT(p.branch_fraction(), 0.15);     // control-heavy (Table 1: "+")
+}
+
+TEST(Profile, MatMultIsMultiplyHeavy) {
+    const KernelProfile p =
+        profile_kernel(*make_benchmark(BenchmarkId::MatMult8));
+    // One multiply per inner-loop iteration: 16^3 = 4096.
+    EXPECT_EQ(p.count(ExClass::Mul), 4096u);
+    EXPECT_GT(p.fraction(ExClass::Mul), 0.09);
+    EXPECT_LT(p.branch_fraction(), 0.15);  // Table 1: control "-"
+}
+
+TEST(Profile, KMeansHasFarFewerMultipliesThanMatMult) {
+    // Fig. 6(c): the k-means FI rate is almost an order of magnitude
+    // below matmul's — because its share of critical multiplies is.
+    const KernelProfile mm =
+        profile_kernel(*make_benchmark(BenchmarkId::MatMult8));
+    const KernelProfile km = profile_kernel(*make_benchmark(BenchmarkId::KMeans));
+    ASSERT_GT(km.count(ExClass::Mul), 0u);
+    EXPECT_LT(km.fraction(ExClass::Mul), mm.fraction(ExClass::Mul) / 4.0);
+}
+
+TEST(Profile, DijkstraIsControlDominatedAndMulFree) {
+    const KernelProfile p =
+        profile_kernel(*make_benchmark(BenchmarkId::Dijkstra));
+    EXPECT_EQ(p.count(ExClass::Mul), 0u);
+    EXPECT_GT(p.branch_fraction(), 0.2);  // Table 1: control "++"
+}
+
+TEST(Profile, CountsAreConsistent) {
+    const KernelProfile p = profile_kernel(*make_benchmark(BenchmarkId::KMeans));
+    std::uint64_t class_sum = 0;
+    for (std::size_t c = 0; c < kExClassCount; ++c)
+        class_sum += p.per_class[c];
+    EXPECT_EQ(class_sum, p.instructions);
+    std::uint64_t op_sum = 0;
+    for (std::size_t o = 0; o < kOpCount; ++o) op_sum += p.per_op[o];
+    EXPECT_EQ(op_sum, p.instructions);
+    EXPECT_LE(p.taken_branches, p.branches);
+    EXPECT_GT(p.taken_branches, 0u);
+    EXPECT_LE(p.alu_ops, p.instructions);
+    EXPECT_GT(p.cycles, p.instructions);  // stalls/flushes exist
+}
+
+TEST(Profile, PrintedReportMentionsClasses) {
+    const KernelProfile p = profile_kernel(*make_benchmark(BenchmarkId::Median));
+    std::ostringstream os;
+    print_profile(os, "median", p);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cmp"), std::string::npos);
+    EXPECT_NE(out.find("(branches)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfi

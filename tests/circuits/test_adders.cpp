@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "circuits/alu.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+namespace {
+
+using AdderFactory = Netlist (*)(std::size_t, bool);
+
+struct AdderCase {
+    const char* name;
+    AdderFactory factory;
+    std::size_t width;
+    bool with_sub;
+};
+
+class AdderEquivalence : public ::testing::TestWithParam<AdderCase> {};
+
+TEST_P(AdderEquivalence, MatchesReferenceOnRandomVectors) {
+    const AdderCase& c = GetParam();
+    const Netlist n = c.factory(c.width, c.with_sub);
+    const std::uint64_t mask =
+        c.width >= 64 ? ~0ULL : ((1ULL << c.width) - 1);
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t a = rng() & mask;
+        const std::uint64_t b = rng() & mask;
+        std::map<std::string, std::uint64_t> in = {{"a", a}, {"b", b}};
+        if (c.with_sub) {
+            in["sub"] = 0;
+            EXPECT_EQ(n.eval(in, "y"), (a + b) & mask) << c.name;
+            in["sub"] = 1;
+            EXPECT_EQ(n.eval(in, "y"), (a - b) & mask) << c.name;
+        } else {
+            EXPECT_EQ(n.eval(in, "y"), (a + b) & mask) << c.name;
+        }
+    }
+}
+
+TEST_P(AdderEquivalence, ExhaustiveWhenSmall) {
+    const AdderCase& c = GetParam();
+    if (c.width > 5) GTEST_SKIP() << "exhaustive only for narrow adders";
+    const Netlist n = c.factory(c.width, c.with_sub);
+    const std::uint64_t mask = (1ULL << c.width) - 1;
+    for (std::uint64_t a = 0; a <= mask; ++a)
+        for (std::uint64_t b = 0; b <= mask; ++b) {
+            std::map<std::string, std::uint64_t> in = {{"a", a}, {"b", b}};
+            if (c.with_sub) {
+                in["sub"] = 1;
+                EXPECT_EQ(n.eval(in, "y"), (a - b) & mask);
+            } else {
+                EXPECT_EQ(n.eval(in, "y"), (a + b) & mask);
+            }
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adders, AdderEquivalence,
+    ::testing::Values(
+        AdderCase{"ripple4", &build_ripple_adder, 4, false},
+        AdderCase{"ripple4s", &build_ripple_adder, 4, true},
+        AdderCase{"ripple32", &build_ripple_adder, 32, false},
+        AdderCase{"ripple32s", &build_ripple_adder, 32, true},
+        AdderCase{"ks4", &build_kogge_stone_adder, 4, false},
+        AdderCase{"ks4s", &build_kogge_stone_adder, 4, true},
+        AdderCase{"ks32", &build_kogge_stone_adder, 32, false},
+        AdderCase{"ks32s", &build_kogge_stone_adder, 32, true}),
+    [](const ::testing::TestParamInfo<AdderCase>& info) {
+        return info.param.name;
+    });
+
+TEST(AdderStructure, KoggeStoneIsShallowerThanRipple) {
+    const Netlist ripple = build_ripple_adder(32, true);
+    const Netlist ks = build_kogge_stone_adder(32, true);
+    EXPECT_LT(ks.logic_depth(), ripple.logic_depth() / 2);
+}
+
+TEST(AdderStructure, RippleDepthGrowsLinearly) {
+    const Netlist small = build_ripple_adder(8, false);
+    const Netlist large = build_ripple_adder(32, false);
+    EXPECT_GT(large.logic_depth(), 3 * small.logic_depth());
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuits/alu.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+namespace {
+
+class AluEquivalence : public ::testing::TestWithParam<ExClass> {
+protected:
+    static const Alu& alu() {
+        static const Alu instance = build_alu();
+        return instance;
+    }
+};
+
+TEST_P(AluEquivalence, NetlistMatchesReferenceSemantics) {
+    const ExClass cls = GetParam();
+    Rng rng(static_cast<std::uint64_t>(cls) + 1000);
+    for (int i = 0; i < 300; ++i) {
+        const std::uint32_t a = rng.u32();
+        const std::uint32_t b = rng.u32();
+        EXPECT_EQ(alu().eval(cls, a, b), alu_result(cls, a, b))
+            << ex_class_name(cls) << " a=" << a << " b=" << b;
+    }
+}
+
+TEST_P(AluEquivalence, EdgeOperands) {
+    const ExClass cls = GetParam();
+    const std::uint32_t edge[] = {0u, 1u, 0x7fffffffu, 0x80000000u, 0xffffffffu};
+    for (const std::uint32_t a : edge)
+        for (const std::uint32_t b : edge)
+            EXPECT_EQ(alu().eval(cls, a, b), alu_result(cls, a, b))
+                << ex_class_name(cls) << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, AluEquivalence,
+                         ::testing::ValuesIn(Alu::instruction_classes()),
+                         [](const ::testing::TestParamInfo<ExClass>& info) {
+                             return ex_class_name(info.param);
+                         });
+
+TEST(Alu, OpCodeDistinctPerUnitFunction) {
+    // add/sub/cmp share the adder; everyone else gets a distinct code.
+    EXPECT_EQ(Alu::op_code(ExClass::Sub), Alu::op_code(ExClass::Cmp));
+    EXPECT_NE(Alu::op_code(ExClass::Add), Alu::op_code(ExClass::Sub));
+    EXPECT_NE(Alu::op_code(ExClass::Mul), Alu::op_code(ExClass::Sll));
+    EXPECT_THROW(Alu::op_code(ExClass::None), std::invalid_argument);
+}
+
+TEST(Alu, UnitMembershipCoversAllCells) {
+    const Alu alu = build_alu();
+    ASSERT_EQ(alu.unit_of.size(), alu.netlist.cell_count());
+    std::map<AluUnit, std::size_t> population;
+    for (const AluUnit unit : alu.unit_of) ++population[unit];
+    EXPECT_GT(population[AluUnit::Adder], 100u);
+    EXPECT_GT(population[AluUnit::Multiplier], 1000u);
+    EXPECT_GT(population[AluUnit::Shifter], 100u);
+    EXPECT_GT(population[AluUnit::Logic], 100u);
+    EXPECT_GT(population[AluUnit::Shared], 32u);  // result mux at least
+}
+
+TEST(Alu, KoggeStoneVariantIsEquivalent) {
+    AluConfig config;
+    config.adder = AdderKind::KoggeStone;
+    const Alu alu = build_alu(config);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint32_t a = rng.u32(), b = rng.u32();
+        for (const ExClass cls : Alu::instruction_classes())
+            EXPECT_EQ(alu.eval(cls, a, b), alu_result(cls, a, b))
+                << ex_class_name(cls);
+    }
+}
+
+TEST(Alu, WithoutOperandIsolationStillCorrect) {
+    AluConfig config;
+    config.operand_isolation = false;
+    const Alu alu = build_alu(config);
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint32_t a = rng.u32(), b = rng.u32();
+        for (const ExClass cls : Alu::instruction_classes())
+            EXPECT_EQ(alu.eval(cls, a, b), alu_result(cls, a, b));
+    }
+}
+
+TEST(Alu, HasExpectedInterface) {
+    const Alu alu = build_alu();
+    EXPECT_EQ(alu.netlist.input_bus("a").size(), 32u);
+    EXPECT_EQ(alu.netlist.input_bus("b").size(), 32u);
+    EXPECT_EQ(alu.netlist.input_bus("op").size(), 4u);
+    EXPECT_EQ(alu.netlist.output_bus("y").size(), 32u);
+    // A realistic EX stage is thousands of cells.
+    EXPECT_GT(alu.netlist.cell_count(), 3000u);
+}
+
+}  // namespace
+}  // namespace sfi

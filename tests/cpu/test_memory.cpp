@@ -1,0 +1,95 @@
+#include "cpu/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+TEST(Memory, ReadWriteWord) {
+    Memory m(4096);
+    m.write_u32(16, 0xdeadbeefu);
+    EXPECT_EQ(m.read_u32(16), 0xdeadbeefu);
+}
+
+TEST(Memory, LittleEndianByteOrder) {
+    Memory m(4096);
+    m.write_u32(0, 0x04030201u);
+    EXPECT_EQ(m.read_u8(0), 1u);
+    EXPECT_EQ(m.read_u8(1), 2u);
+    EXPECT_EQ(m.read_u8(2), 3u);
+    EXPECT_EQ(m.read_u8(3), 4u);
+    EXPECT_EQ(m.read_u16(0), 0x0201u);
+    EXPECT_EQ(m.read_u16(2), 0x0403u);
+}
+
+TEST(Memory, HalfAndByteWrites) {
+    Memory m(64);
+    m.write_u16(8, 0xbeefu);
+    m.write_u8(10, 0x7f);
+    EXPECT_EQ(m.read_u16(8), 0xbeefu);
+    EXPECT_EQ(m.read_u8(10), 0x7fu);
+}
+
+TEST(Memory, MisalignedWordThrows) {
+    Memory m(64);
+    EXPECT_THROW(m.read_u32(2), MemFault);
+    EXPECT_THROW(m.write_u32(1, 0), MemFault);
+    EXPECT_THROW(m.read_u16(1), MemFault);
+}
+
+TEST(Memory, OutOfRangeThrows) {
+    Memory m(64);
+    EXPECT_THROW(m.read_u32(64), MemFault);
+    EXPECT_THROW(m.read_u32(0xfffffffcu), MemFault);
+    EXPECT_THROW(m.write_u8(64, 0), MemFault);
+    EXPECT_NO_THROW(m.read_u32(60));
+}
+
+TEST(Memory, FaultCarriesAddress) {
+    Memory m(64);
+    try {
+        m.read_u32(100);
+        FAIL();
+    } catch (const MemFault& f) {
+        EXPECT_EQ(f.addr, 100u);
+    }
+}
+
+TEST(Memory, LoadProgramSections) {
+    Memory m(0x10000);
+    const Program p = assemble(
+        "  l.nop\n"
+        ".org 0x8000\n"
+        "  .word 0x12345678\n");
+    m.load(p);
+    EXPECT_EQ(m.read_u32(0x8000), 0x12345678u);
+    EXPECT_NE(m.read_u32(0), 0u);  // the l.nop encoding
+}
+
+TEST(Memory, LoadOutOfRangeSectionThrows) {
+    Memory m(64);
+    const Program p = assemble(".org 0x8000\n  .word 1\n");
+    EXPECT_THROW(m.load(p), MemFault);
+}
+
+TEST(Memory, WriteGenerationAdvances) {
+    Memory m(64);
+    const std::uint64_t g0 = m.write_generation();
+    m.write_u32(0, 1);
+    EXPECT_GT(m.write_generation(), g0);
+}
+
+TEST(Memory, ClearZeroes) {
+    Memory m(64);
+    m.write_u32(8, 42);
+    m.clear();
+    EXPECT_EQ(m.read_u32(8), 0u);
+}
+
+TEST(Memory, InvalidSizeThrows) {
+    EXPECT_THROW(Memory(0), std::invalid_argument);
+    EXPECT_THROW(Memory(10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfi

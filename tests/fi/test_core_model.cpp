@@ -1,0 +1,101 @@
+#include "fi/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "testing/shared_core.hpp"
+
+namespace sfi {
+namespace {
+
+using testing::shared_core;
+
+TEST(CharacterizedCore, StaLimitMatchesPaperOperatingPoint) {
+    EXPECT_NEAR(shared_core().sta_fmax_mhz(0.7), 707.0, 1.0);
+}
+
+TEST(CharacterizedCore, HigherVddRaisesStaLimit) {
+    const double f07 = shared_core().sta_fmax_mhz(0.7);
+    const double f08 = shared_core().sta_fmax_mhz(0.8);
+    EXPECT_GT(f08, 1.15 * f07);
+}
+
+TEST(CharacterizedCore, DynamicLimitsOrderedByInstructionComplexity) {
+    const auto& core = shared_core();
+    const double mul = core.dynamic_fmax_mhz(ExClass::Mul, 0.7);
+    const double add = core.dynamic_fmax_mhz(ExClass::Add, 0.7);
+    const double logic = core.dynamic_fmax_mhz(ExClass::Xor, 0.7);
+    EXPECT_GT(add, mul);
+    EXPECT_GT(logic, add);
+    // mul's dynamic limit sits essentially at the STA limit.
+    EXPECT_NEAR(mul, core.sta_fmax_mhz(0.7), 0.05 * core.sta_fmax_mhz(0.7));
+}
+
+TEST(CharacterizedCore, CdfsCoverAllInstructionClasses) {
+    const auto& cdfs = *shared_core().cdfs();
+    for (const ExClass cls : Alu::instruction_classes())
+        EXPECT_TRUE(cdfs.has_class(cls)) << ex_class_name(cls);
+    EXPECT_EQ(cdfs.endpoint_count(), 32u);
+    EXPECT_EQ(cdfs.samples_per_endpoint(), testing::kTestDtaCycles);
+}
+
+TEST(CharacterizedCore, FactoriesProduceWorkingModels) {
+    auto a = shared_core().make_model_a(0.001);
+    auto b = shared_core().make_model_b();
+    auto c = shared_core().make_model_c();
+    EXPECT_EQ(a->name(), "A");
+    EXPECT_EQ(b->name(), "B");
+    EXPECT_EQ(c->name(), "C");
+}
+
+TEST(CharacterizedCore, CdfCacheRoundTrip) {
+    const std::string path = std::string(::testing::TempDir()) + "core_cache.bin";
+    std::remove(path.c_str());
+    CoreModelConfig config;
+    config.dta.cycles = 64;
+    config.cdf_cache_path = path;
+    const CharacterizedCore first(config);   // characterizes + writes cache
+    ASSERT_TRUE(std::filesystem::exists(path));
+    const CharacterizedCore second(config);  // loads from cache
+    EXPECT_TRUE(*first.cdfs() == *second.cdfs());
+    std::remove(path.c_str());
+}
+
+TEST(CharacterizedCore, CacheInvalidatedByConfigChange) {
+    const std::string path = std::string(::testing::TempDir()) + "core_cache2.bin";
+    std::remove(path.c_str());
+    CoreModelConfig config;
+    config.dta.cycles = 64;
+    config.cdf_cache_path = path;
+    const CharacterizedCore first(config);
+    config.dta.seed ^= 1;  // different characterization
+    const CharacterizedCore second(config);
+    EXPECT_FALSE(*first.cdfs() == *second.cdfs());
+    std::remove(path.c_str());
+}
+
+TEST(CharacterizedCore, CorruptCacheIsRecharacterized) {
+    const std::string path = std::string(::testing::TempDir()) + "core_cache3.bin";
+    CoreModelConfig config;
+    config.dta.cycles = 64;
+    config.cdf_cache_path = path;
+    const CharacterizedCore reference(config);
+    {
+        // Truncate the cache body while keeping the fingerprint intact.
+        std::ifstream is(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(is)), {});
+        is.close();
+        bytes.resize(bytes.size() / 2);
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    const CharacterizedCore recovered(config);
+    EXPECT_TRUE(*reference.cdfs() == *recovered.cdfs());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,114 @@
+// Statistical property tests: model C's empirical injection frequencies
+// must match the CDF-store probabilities it samples from (the defining
+// property of "statistical" fault injection).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "testing/shared_core.hpp"
+
+namespace sfi {
+namespace {
+
+using testing::shared_core;
+
+TEST(ModelCStatistics, PerEndpointFlipRateMatchesCdfProbability) {
+    auto model = shared_core().make_model_c();
+    const TimingErrorCdfs& cdfs = *shared_core().cdfs();
+    // Operating point with meaningful but sub-unity probabilities.
+    OperatingPoint point;
+    point.vdd = 0.7;
+    point.freq_mhz = model->first_fault_frequency_mhz(ExClass::Mul) * 1.12;
+    model->set_operating_point(point);
+    model->reseed(77);
+
+    const double window =
+        point.period_ps() / shared_core().lib().fit().factor(point.vdd);
+    std::array<std::uint64_t, 32> flips{};
+    const int ops = 60000;
+    Rng operands(5);
+    for (int i = 0; i < ops; ++i) {
+        model->on_cycle(true);
+        ExEvent ev;
+        ev.cls = ExClass::Mul;
+        ev.operand_a = operands.u32();
+        ev.operand_b = operands.u32();
+        const std::uint32_t correct = ev.operand_a * ev.operand_b;
+        const std::uint32_t got = model->on_ex_result(ev, correct);
+        std::uint32_t diff = got ^ correct;
+        while (diff) {
+            const int bit = std::countr_zero(diff);
+            ++flips[static_cast<std::size_t>(bit)];
+            diff &= diff - 1;
+        }
+    }
+    for (std::size_t bit = 0; bit < 32; ++bit) {
+        const double expected = cdfs.violation_prob(ExClass::Mul, bit, window);
+        const double observed =
+            static_cast<double>(flips[bit]) / static_cast<double>(ops);
+        // Binomial tolerance: 5 sigma plus a small absolute floor.
+        const double sigma =
+            std::sqrt(std::max(expected * (1.0 - expected), 1e-9) / ops);
+        EXPECT_NEAR(observed, expected, 5.0 * sigma + 5e-4) << "bit " << bit;
+    }
+}
+
+TEST(ModelCStatistics, TotalInjectionRateMatchesSumOfProbabilities) {
+    auto model = shared_core().make_model_c();
+    const TimingErrorCdfs& cdfs = *shared_core().cdfs();
+    OperatingPoint point;
+    point.vdd = 0.7;
+    point.freq_mhz = model->first_fault_frequency_mhz(ExClass::Cmp) * 1.06;
+    model->set_operating_point(point);
+    model->reseed(78);
+    const double window =
+        point.period_ps() / shared_core().lib().fit().factor(point.vdd);
+    double expected_per_op = 0.0;
+    for (std::size_t bit = 0; bit < 32; ++bit)
+        expected_per_op += cdfs.violation_prob(ExClass::Cmp, bit, window);
+    ASSERT_GT(expected_per_op, 0.0);
+
+    const int ops = 50000;
+    for (int i = 0; i < ops; ++i) {
+        model->on_cycle(true);
+        ExEvent ev;
+        ev.cls = ExClass::Cmp;
+        ev.operand_a = 3u * i;
+        ev.operand_b = 7u * i;
+        model->on_ex_result(ev, ev.operand_a - ev.operand_b);
+    }
+    const double observed = static_cast<double>(model->stats().injections) /
+                            static_cast<double>(ops);
+    EXPECT_NEAR(observed, expected_per_op, 0.15 * expected_per_op + 1e-4);
+}
+
+TEST(ModelCStatistics, NoiseAveragedRateExceedsNoNoiseRateBelowThreshold) {
+    // Below the no-noise onset, only noise produces injections; above it,
+    // noise increases the average injection probability (the smoothing
+    // that creates the paper's transition regions).
+    auto clean = shared_core().make_model_c();
+    auto noisy = shared_core().make_model_c();
+    OperatingPoint point;
+    point.vdd = 0.7;
+    point.freq_mhz = clean->first_fault_frequency_mhz(ExClass::Mul) * 1.01;
+    clean->set_operating_point(point);
+    point.noise.sigma_mv = 15.0;
+    noisy->set_operating_point(point);
+    clean->reseed(79);
+    noisy->reseed(79);
+    for (int i = 0; i < 40000; ++i) {
+        clean->on_cycle(true);
+        noisy->on_cycle(true);
+        ExEvent ev;
+        ev.cls = ExClass::Mul;
+        ev.operand_a = 0x9e3779b9u * i;
+        ev.operand_b = 0x85ebca6bu * i;
+        const std::uint32_t correct = ev.operand_a * ev.operand_b;
+        clean->on_ex_result(ev, correct);
+        noisy->on_ex_result(ev, correct);
+    }
+    EXPECT_GT(noisy->stats().injections, 2 * clean->stats().injections);
+}
+
+}  // namespace
+}  // namespace sfi

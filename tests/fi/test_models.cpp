@@ -1,0 +1,359 @@
+#include "fi/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "testing/shared_core.hpp"
+
+namespace sfi {
+namespace {
+
+using testing::shared_core;
+
+ExEvent make_event(ExClass cls, std::uint32_t a, std::uint32_t b,
+                   std::uint32_t prev = 0) {
+    ExEvent ev;
+    ev.cls = cls;
+    ev.operand_a = a;
+    ev.operand_b = b;
+    ev.prev_result = prev;
+    return ev;
+}
+
+OperatingPoint point(double f, double vdd = 0.7, double sigma = 0.0) {
+    OperatingPoint p;
+    p.freq_mhz = f;
+    p.vdd = vdd;
+    p.noise.sigma_mv = sigma;
+    return p;
+}
+
+// ---------------------------------------------------------------------------
+// Model A
+// ---------------------------------------------------------------------------
+
+TEST(ModelA, FlipRateMatchesProbability) {
+    ModelA model(0.01);
+    model.set_operating_point(point(500.0));
+    model.reseed(1);
+    const int ops = 20000;
+    for (int i = 0; i < ops; ++i) {
+        model.on_cycle(true);
+        model.on_ex_result(make_event(ExClass::Add, 1, 2), 3);
+    }
+    const double rate = static_cast<double>(model.stats().injections) /
+                        (32.0 * ops);
+    EXPECT_NEAR(rate, 0.01, 0.001);
+}
+
+TEST(ModelA, IndependentOfFrequencyAndVoltage) {
+    ModelA slow(0.005), fast(0.005);
+    slow.set_operating_point(point(100.0, 0.9));
+    fast.set_operating_point(point(2000.0, 0.6));
+    slow.reseed(7);
+    fast.reseed(7);
+    for (int i = 0; i < 1000; ++i) {
+        slow.on_ex_result(make_event(ExClass::Mul, i, i), i);
+        fast.on_ex_result(make_event(ExClass::Mul, i, i), i);
+    }
+    EXPECT_EQ(slow.stats().injections, fast.stats().injections);
+}
+
+TEST(ModelA, ZeroProbabilityNeverInjects) {
+    ModelA model(0.0);
+    model.set_operating_point(point(5000.0));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(model.on_ex_result(make_event(ExClass::Add, 5, 6), 11), 11u);
+    EXPECT_EQ(model.stats().injections, 0u);
+}
+
+TEST(ModelA, RejectsBadProbability) {
+    EXPECT_THROW(ModelA(-0.1), std::invalid_argument);
+    EXPECT_THROW(ModelA(1.1), std::invalid_argument);
+}
+
+TEST(ModelA, FeaturesRow) {
+    const ModelFeatures f = ModelA(0.1).features();
+    EXPECT_EQ(f.technique, "fixed probability");
+    EXPECT_EQ(f.timing_data, "none");
+    EXPECT_FALSE(f.multi_vdd);
+    EXPECT_FALSE(f.instruction_aware);
+}
+
+// ---------------------------------------------------------------------------
+// Models B / B+
+// ---------------------------------------------------------------------------
+
+TEST(ModelB, SafeBelowStaLimit) {
+    auto model = shared_core().make_model_b();
+    const double fsta = shared_core().sta_fmax_mhz(0.7);
+    model->set_operating_point(point(fsta * 0.999));
+    for (int i = 0; i < 200; ++i) {
+        model->on_cycle(true);
+        EXPECT_EQ(model->on_ex_result(make_event(ExClass::Mul, i, i), 42), 42u);
+    }
+    EXPECT_EQ(model->stats().injections, 0u);
+}
+
+TEST(ModelB, DeterministicInjectionJustAboveStaLimit) {
+    auto model = shared_core().make_model_b();
+    const double fsta = shared_core().sta_fmax_mhz(0.7);
+    model->set_operating_point(point(fsta * 1.002));
+    // Any ALU instruction, independent of type, hits the violated
+    // endpoint(s): the hard-threshold behaviour of Fig. 1(a).
+    for (const ExClass cls : Alu::instruction_classes()) {
+        const std::uint32_t out =
+            model->on_ex_result(make_event(cls, 1, 2), 0x0u);
+        EXPECT_NE(out, 0x0u) << ex_class_name(cls);
+    }
+    const std::uint64_t first = model->stats().injections;
+    model->reset_stats();
+    for (const ExClass cls : Alu::instruction_classes())
+        model->on_ex_result(make_event(cls, 1, 2), 0x0u);
+    EXPECT_EQ(model->stats().injections, first);  // no randomness
+}
+
+TEST(ModelB, NameSwitchesWithNoise) {
+    auto model = shared_core().make_model_b();
+    model->set_operating_point(point(700.0));
+    EXPECT_EQ(model->name(), "B");
+    EXPECT_EQ(model->features().technique, "fixed period violation");
+    model->set_operating_point(point(700.0, 0.7, 10.0));
+    EXPECT_EQ(model->name(), "B+");
+    EXPECT_EQ(model->features().technique, "modulated period violation");
+    EXPECT_TRUE(model->features().vdd_noise);
+}
+
+TEST(ModelB, FirstFaultFrequencyMatchesPaperShift) {
+    auto model = shared_core().make_model_b();
+    model->set_operating_point(point(700.0, 0.7, 0.0));
+    const double f0 = model->first_fault_frequency_mhz();
+    EXPECT_NEAR(f0, 707.0, 1.0);
+    // The paper reports 661 MHz (sigma = 10 mV) and 588 MHz (25 mV). The
+    // five-corner piecewise-linear fit slightly overestimates the delay
+    // penalty between corners (it cannot satisfy both anchors exactly),
+    // so the thresholds land a few percent low.
+    model->set_operating_point(point(700.0, 0.7, 10.0));
+    const double f10 = model->first_fault_frequency_mhz();
+    EXPECT_NEAR(f10, 661.0, 18.0);
+    model->set_operating_point(point(700.0, 0.7, 25.0));
+    EXPECT_NEAR(model->first_fault_frequency_mhz(), 588.0, 28.0);
+}
+
+TEST(ModelBPlus, NoiseInjectsBelowStaLimitProbabilistically) {
+    auto model = shared_core().make_model_b();
+    const double fsta = shared_core().sta_fmax_mhz(0.7);
+    model->set_operating_point(point(fsta * 0.97, 0.7, 10.0));
+    model->reseed(3);
+    std::uint64_t cycles = 20000;
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+        model->on_cycle(true);
+        model->on_ex_result(make_event(ExClass::Mul, i, i), 0);
+    }
+    // Some injections (noise occasionally slows the worst path enough),
+    // but far from all 32 endpoints on every cycle.
+    EXPECT_GT(model->stats().injections, 0u);
+    EXPECT_LT(model->stats().injections, cycles * 8);
+    EXPECT_LT(model->stats().corrupted_ops, cycles / 2);
+}
+
+TEST(ModelBPlus, HigherVddMovesThresholdUp) {
+    auto model = shared_core().make_model_b();
+    model->set_operating_point(point(700.0, 0.7, 0.0));
+    const double f07 = model->first_fault_frequency_mhz();
+    model->set_operating_point(point(700.0, 0.8, 0.0));
+    const double f08 = model->first_fault_frequency_mhz();
+    EXPECT_GT(f08, f07 * 1.15);
+}
+
+// ---------------------------------------------------------------------------
+// Model C
+// ---------------------------------------------------------------------------
+
+TEST(ModelC, SafeWhenWindowExceedsClassMax) {
+    auto model = shared_core().make_model_c();
+    model->set_operating_point(point(500.0, 0.7, 0.0));
+    model->reseed(5);
+    for (int i = 0; i < 1000; ++i) {
+        model->on_cycle(true);
+        EXPECT_EQ(model->on_ex_result(make_event(ExClass::Mul, i, 3 * i), 7u),
+                  7u);
+    }
+    EXPECT_EQ(model->stats().injections, 0u);
+}
+
+TEST(ModelC, InstructionAwareThresholds) {
+    // At a frequency between the mul and add dynamic limits, multiplies
+    // must fail while additions stay clean — the core instruction
+    // awareness that models A/B/B+ lack.
+    auto model = shared_core().make_model_c();
+    const double f_mul = model->first_fault_frequency_mhz(ExClass::Mul);
+    const double f_add = model->first_fault_frequency_mhz(ExClass::Add);
+    ASSERT_GT(f_add, f_mul * 1.05);
+    const double between = 0.5 * (f_mul + f_add);
+    model->set_operating_point(point(between, 0.7, 0.0));
+    model->reseed(11);
+    std::uint64_t mul_inj = 0, add_inj = 0;
+    for (int i = 0; i < 50000; ++i) {
+        model->on_cycle(true);
+        model->on_ex_result(
+            make_event(ExClass::Mul, 0xffffffffu - i, 0x9e3779b9u * i), 0);
+        const std::uint64_t after_mul = model->stats().injections;
+        model->on_ex_result(
+            make_event(ExClass::Add, 0xffffffffu - i, 0x9e3779b9u * i), 0);
+        add_inj += model->stats().injections - after_mul;
+        mul_inj = after_mul;
+    }
+    EXPECT_GT(mul_inj, 0u);
+    EXPECT_EQ(add_inj, 0u);
+}
+
+TEST(ModelC, InjectionProbabilityGrowsWithFrequency) {
+    auto model = shared_core().make_model_c();
+    const double f0 = model->first_fault_frequency_mhz(ExClass::Mul);
+    std::uint64_t prev = 0;
+    for (const double scale : {1.02, 1.10, 1.25}) {
+        model->set_operating_point(point(f0 * scale, 0.7, 0.0));
+        model->reseed(13);
+        model->reset_stats();
+        for (int i = 0; i < 5000; ++i) {
+            model->on_cycle(true);
+            model->on_ex_result(make_event(ExClass::Mul, 77u * i, 13u * i), 0);
+        }
+        EXPECT_GT(model->stats().injections, prev);
+        prev = model->stats().injections;
+    }
+}
+
+TEST(ModelC, NoiseSmoothsOnset) {
+    // Slightly below the no-noise first-fault point: only the noisy model
+    // injects.
+    auto clean = shared_core().make_model_c();
+    auto noisy = shared_core().make_model_c();
+    const double f0 = clean->first_fault_frequency_mhz(ExClass::Mul);
+    clean->set_operating_point(point(f0 * 0.98, 0.7, 0.0));
+    noisy->set_operating_point(point(f0 * 0.98, 0.7, 10.0));
+    clean->reseed(17);
+    noisy->reseed(17);
+    for (int i = 0; i < 30000; ++i) {
+        clean->on_cycle(true);
+        noisy->on_cycle(true);
+        const ExEvent ev = make_event(ExClass::Mul, 0x5bd1e995u * i, i);
+        clean->on_ex_result(ev, 0);
+        noisy->on_ex_result(ev, 0);
+    }
+    EXPECT_EQ(clean->stats().injections, 0u);
+    EXPECT_GT(noisy->stats().injections, 0u);
+}
+
+TEST(ModelC, BitFlipPolicyFlipsSingleEndpoints) {
+    auto model = shared_core().make_model_c();
+    const double f0 = model->first_fault_frequency_mhz(ExClass::Mul);
+    model->set_operating_point(point(f0 * 1.05, 0.7, 0.0));
+    model->reseed(19);
+    for (int i = 0; i < 20000; ++i) {
+        model->on_cycle(true);
+        const std::uint32_t correct = 0xAAAA5555u;
+        const std::uint32_t out =
+            model->on_ex_result(make_event(ExClass::Mul, 3u * i, 7u * i), correct);
+        if (out != correct) {
+            // Corruption is a set of flipped endpoint bits.
+            EXPECT_GE(std::popcount(out ^ correct), 1);
+            return;  // observed at least one corruption: done
+        }
+    }
+    FAIL() << "no corruption observed above the dynamic limit";
+}
+
+TEST(ModelC, StaleCapturePolicyTakesPreviousBits) {
+    auto model = shared_core().make_model_c();
+    model->set_policy(FaultPolicy::StaleCapture);
+    const double f0 = model->first_fault_frequency_mhz(ExClass::Mul);
+    model->set_operating_point(point(f0 * 1.3, 0.7, 0.0));
+    model->reseed(23);
+    const std::uint32_t prev = 0xffffffffu;
+    const std::uint32_t correct = 0x00000000u;
+    bool corrupted = false;
+    for (int i = 0; i < 5000 && !corrupted; ++i) {
+        model->on_cycle(true);
+        const std::uint32_t out = model->on_ex_result(
+            make_event(ExClass::Mul, 11u * i, 5u * i, prev), correct);
+        // Stale capture can only move bits toward the previous value.
+        EXPECT_EQ(out & ~prev, 0u);
+        corrupted |= out != correct;
+    }
+    EXPECT_TRUE(corrupted);
+}
+
+TEST(ModelC, StatsCountCorruptedOps) {
+    auto model = shared_core().make_model_c();
+    const double f0 = model->first_fault_frequency_mhz(ExClass::Mul);
+    model->set_operating_point(point(f0 * 1.2, 0.7, 0.0));
+    model->reseed(29);
+    for (int i = 0; i < 5000; ++i) {
+        model->on_cycle(true);
+        model->on_ex_result(make_event(ExClass::Mul, 7919u * i, i), 0);
+    }
+    const FiStats& stats = model->stats();
+    EXPECT_EQ(stats.alu_ops, 5000u);
+    EXPECT_EQ(stats.fi_cycles, 5000u);
+    EXPECT_GT(stats.injections, 0u);
+    EXPECT_GE(stats.injections, stats.corrupted_ops);
+    EXPECT_NEAR(stats.fi_per_kcycle(),
+                1000.0 * static_cast<double>(stats.injections) / 5000.0, 1e-9);
+}
+
+TEST(ModelC, FeaturesRowMatchesTable2) {
+    auto model = shared_core().make_model_c();
+    const ModelFeatures f = model->features();
+    EXPECT_EQ(f.technique, "probabilistic period violation (using CDFs)");
+    EXPECT_EQ(f.timing_data, "DTA");
+    EXPECT_TRUE(f.multi_vdd);
+    EXPECT_TRUE(f.vdd_noise);
+    EXPECT_EQ(f.gate_level_aware, "yes");
+    EXPECT_TRUE(f.instruction_aware);
+}
+
+TEST(ModelC, ReproducibleAcrossReseeds) {
+    auto model = shared_core().make_model_c();
+    const double f0 = model->first_fault_frequency_mhz(ExClass::Mul);
+    model->set_operating_point(point(f0 * 1.1, 0.7, 10.0));
+    auto run = [&] {
+        model->reseed(31);
+        model->reset_stats();
+        std::uint64_t signature = 0;
+        for (int i = 0; i < 2000; ++i) {
+            model->on_cycle(true);
+            signature ^= model->on_ex_result(make_event(ExClass::Mul, i, i), 0) +
+                         0x9e3779b97f4a7c15ULL + (signature << 6);
+        }
+        return signature;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Noise-window table helper
+// ---------------------------------------------------------------------------
+
+TEST(NoiseWindowTable, MonotoneAndCenteredOnBaseWindow) {
+    const VddDelayFit& fit = shared_core().lib().fit();
+    const OperatingPoint p = point(700.0, 0.7, 10.0);
+    const auto table = build_noise_window_table(p, fit, 101);
+    ASSERT_EQ(table.size(), 101u);
+    // Lower supply (negative noise, low index) -> slower -> smaller window.
+    for (std::size_t i = 1; i < table.size(); ++i)
+        EXPECT_GT(table[i], table[i - 1]);
+    EXPECT_NEAR(table[50], p.period_ps() / fit.factor(0.7), 0.05);
+}
+
+TEST(NoiseWindowTable, IndexClampsToRange) {
+    const OperatingPoint p = point(700.0, 0.7, 10.0);
+    EXPECT_EQ(noise_table_index(p, -1.0, 101), 0u);
+    EXPECT_EQ(noise_table_index(p, +1.0, 101), 100u);
+    EXPECT_EQ(noise_table_index(p, 0.0, 101), 50u);
+}
+
+}  // namespace
+}  // namespace sfi

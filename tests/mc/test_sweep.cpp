@@ -1,0 +1,138 @@
+#include "mc/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mc/report.hpp"
+#include "testing/shared_core.hpp"
+
+namespace sfi {
+namespace {
+
+using testing::shared_core;
+
+TEST(Linspace, EndpointsAndSpacing) {
+    const auto v = linspace(1.0, 3.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 1.0);
+    EXPECT_DOUBLE_EQ(v.back(), 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 1.5);
+}
+
+TEST(Linspace, SinglePoint) {
+    const auto v = linspace(2.0, 9.0, 1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_DOUBLE_EQ(v[0], 2.0);
+}
+
+TEST(Linspace, ZeroThrows) {
+    EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Arange, InclusiveUpperBound) {
+    const auto v = arange(650.0, 652.0, 0.5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.back(), 652.0);
+}
+
+TEST(Arange, BadStepThrows) {
+    EXPECT_THROW(arange(0.0, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(arange(0.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(FrequencySweep, CoversRequestedPointsInOrder) {
+    const auto bench = make_benchmark(BenchmarkId::MatMult8);
+    auto model = shared_core().make_model_c();
+    McConfig config;
+    config.trials = 5;
+    MonteCarloRunner runner(*bench, *model, config);
+    OperatingPoint base;
+    base.vdd = 0.7;
+    base.noise.sigma_mv = 10.0;
+    std::size_t callbacks = 0;
+    const auto sweep =
+        frequency_sweep(runner, base, {500.0, 700.0, 900.0},
+                        [&](const PointSummary&) { ++callbacks; });
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_EQ(callbacks, 3u);
+    EXPECT_DOUBLE_EQ(sweep[0].point.freq_mhz, 500.0);
+    EXPECT_DOUBLE_EQ(sweep[2].point.freq_mhz, 900.0);
+    // Monotone degradation across the transition.
+    EXPECT_GE(sweep[0].correct_frac(), sweep[2].correct_frac());
+}
+
+TEST(VoltageSweep, LowerSupplyDegrades) {
+    const auto bench = make_benchmark(BenchmarkId::MatMult8);
+    auto model = shared_core().make_model_c();
+    McConfig config;
+    config.trials = 5;
+    MonteCarloRunner runner(*bench, *model, config);
+    OperatingPoint base;
+    base.freq_mhz = 707.0;
+    const auto sweep = voltage_sweep(runner, base, {0.64, 0.70});
+    ASSERT_EQ(sweep.size(), 2u);
+    EXPECT_LE(sweep[0].correct_frac(), sweep[1].correct_frac());
+    EXPECT_DOUBLE_EQ(sweep[0].point.vdd, 0.64);
+}
+
+TEST(FindPoff, FirstImperfectPoint) {
+    std::vector<PointSummary> sweep(3);
+    for (int i = 0; i < 3; ++i) {
+        sweep[i].point.freq_mhz = 700.0 + i * 10.0;
+        sweep[i].trials = 100;
+        sweep[i].correct_count = 100;
+    }
+    EXPECT_FALSE(find_poff_mhz(sweep).has_value());
+    sweep[2].correct_count = 99;
+    EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 720.0);
+    sweep[1].correct_count = 0;
+    EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 710.0);
+}
+
+TEST(PoffGain, SignedPercent) {
+    EXPECT_NEAR(poff_gain_percent(787.0, 707.0), 11.3, 0.05);
+    EXPECT_LT(poff_gain_percent(650.0, 707.0), 0.0);
+    EXPECT_DOUBLE_EQ(poff_gain_percent(707.0, 707.0), 0.0);
+}
+
+TEST(Report, PrintSweepContainsMetrics) {
+    PointSummary s;
+    s.point.freq_mhz = 750.0;
+    s.trials = 10;
+    s.finished_count = 8;
+    s.correct_count = 5;
+    s.fi_rate = 1.25;
+    s.mean_error = 3.5;
+    s.error_stats.add(3.5);
+    std::ostringstream os;
+    print_sweep(os, "panel", {s}, "err");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("panel"), std::string::npos);
+    EXPECT_NE(out.find("750.0"), std::string::npos);
+    EXPECT_NE(out.find("80.0%"), std::string::npos);
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+TEST(Report, CsvWritesOneRowPerPoint) {
+    PointSummary s;
+    s.point.freq_mhz = 700.0;
+    s.trials = 4;
+    const std::string path = std::string(::testing::TempDir()) + "sweep.csv";
+    write_sweep_csv(path, {s, s, s});
+    std::ifstream is(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line)) ++lines;
+    EXPECT_EQ(lines, 4u);  // header + 3 rows
+    std::remove(path.c_str());
+}
+
+TEST(Report, EmptyPathIsNoop) {
+    EXPECT_NO_THROW(write_sweep_csv("", {}));
+}
+
+}  // namespace
+}  // namespace sfi

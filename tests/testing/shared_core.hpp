@@ -1,0 +1,23 @@
+// Shared expensive fixtures for tests: one calibrated ALU + timing and one
+// CharacterizedCore (with a reduced DTA kernel) per test binary.
+#pragma once
+
+#include "fi/core_model.hpp"
+
+namespace sfi::testing {
+
+/// DTA kernel length for tests: long enough for stable CDF tails, short
+/// enough to keep the suite fast.
+inline constexpr std::size_t kTestDtaCycles = 1024;
+
+inline const CharacterizedCore& shared_core() {
+    static const CharacterizedCore core = [] {
+        CoreModelConfig config;
+        config.dta.cycles = kTestDtaCycles;
+        config.cdf_cache_path = "/tmp/sfi_test_cdf_cache.bin";
+        return CharacterizedCore(config);
+    }();
+    return core;
+}
+
+}  // namespace sfi::testing

@@ -1,0 +1,115 @@
+#include "timing/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+struct CalibrationTest : ::testing::Test {
+    static const Alu& alu() {
+        static const Alu instance = build_alu();
+        return instance;
+    }
+    static const TimingLib& lib() {
+        static const TimingLib instance;
+        return instance;
+    }
+};
+
+TEST_F(CalibrationTest, HitsBlockTargets) {
+    InstanceTiming timing(alu().netlist, lib());
+    const CalibrationTargets targets;
+    const CalibrationResult result = calibrate_alu(alu(), timing, targets);
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Mul), targets.mul_period_ps,
+                0.5);
+    // The adder unit is driven by its worst class (sub, with the operand
+    // inversion stage); add itself lands at or below the target.
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Sub), targets.add_period_ps,
+                0.5);
+    EXPECT_LE(result.class_period_ps.at(ExClass::Add),
+              targets.add_period_ps + 0.5);
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Sra),
+                targets.shift_period_ps, 0.5);
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Or),
+                targets.logic_period_ps, 0.5);
+}
+
+TEST_F(CalibrationTest, StaLimitIs707MHzAt07V) {
+    InstanceTiming timing(alu().netlist, lib());
+    const CalibrationResult result = calibrate_alu(alu(), timing);
+    EXPECT_NEAR(result.sta_fmax_mhz, 707.0, 0.5);
+    EXPECT_DOUBLE_EQ(result.vdd, 0.7);
+}
+
+TEST_F(CalibrationTest, MulIsTheLimitingClass) {
+    InstanceTiming timing(alu().netlist, lib());
+    const CalibrationResult result = calibrate_alu(alu(), timing);
+    for (const auto& [cls, period] : result.class_period_ps)
+        EXPECT_LE(period, result.class_period_ps.at(ExClass::Mul) + 1e-9)
+            << ex_class_name(cls);
+}
+
+TEST_F(CalibrationTest, CompareSharesAdderTiming) {
+    InstanceTiming timing(alu().netlist, lib());
+    const CalibrationResult result = calibrate_alu(alu(), timing);
+    EXPECT_DOUBLE_EQ(result.class_period_ps.at(ExClass::Cmp),
+                     result.class_period_ps.at(ExClass::Sub));
+}
+
+TEST_F(CalibrationTest, ScalesArePositiveAndSharedUnscaled) {
+    InstanceTiming timing(alu().netlist, lib());
+    const CalibrationResult result = calibrate_alu(alu(), timing);
+    for (const auto& [unit, scale] : result.unit_scale) {
+        EXPECT_GT(scale, 0.0) << alu_unit_name(unit);
+    }
+    EXPECT_DOUBLE_EQ(result.unit_scale.at(AluUnit::Shared), 1.0);
+    EXPECT_EQ(result.cell_scale.size(), alu().netlist.cell_count());
+}
+
+TEST_F(CalibrationTest, CustomTargetsRespected) {
+    InstanceTiming timing(alu().netlist, lib());
+    CalibrationTargets targets;
+    targets.mul_period_ps = 2000.0;
+    targets.add_period_ps = 1000.0;
+    const CalibrationResult result = calibrate_alu(alu(), timing, targets);
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Mul), 2000.0, 1.0);
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Sub), 1000.0, 1.0);
+    EXPECT_NEAR(result.sta_fmax_mhz, 500.0, 0.5);
+}
+
+TEST_F(CalibrationTest, EndpointWorstStaDominatesEveryClass) {
+    InstanceTiming timing(alu().netlist, lib());
+    calibrate_alu(alu(), timing);
+    const StaResult worst = endpoint_worst_sta(alu(), timing);
+    for (const ExClass cls : Alu::instruction_classes()) {
+        const StaResult sta =
+            run_sta(alu().netlist, timing, {{"op", Alu::op_code(cls)}});
+        for (std::size_t e = 0; e < 32; ++e)
+            EXPECT_GE(worst.endpoint_ps[e], sta.endpoint_ps[e] - 1e-9)
+                << ex_class_name(cls) << " bit " << e;
+    }
+}
+
+TEST_F(CalibrationTest, VoltageScalingShiftsFmax) {
+    InstanceTiming timing(alu().netlist, lib());
+    calibrate_alu(alu(), timing);
+    const StaResult sta = endpoint_worst_sta(alu(), timing);
+    const double f07 = sta.fmax_mhz(lib().law().factor(0.7));
+    const double f08 = sta.fmax_mhz(lib().law().factor(0.8));
+    EXPECT_GT(f08, f07 * 1.1);  // higher supply -> faster
+    EXPECT_LT(f08, f07 * 1.6);
+}
+
+TEST_F(CalibrationTest, RippleVariantCalibratesToSameTargets) {
+    AluConfig config;
+    config.adder = AdderKind::RippleCarry;
+    const Alu ripple = build_alu(config);
+    InstanceTiming timing(ripple.netlist, lib());
+    const CalibrationResult result = calibrate_alu(ripple, timing);
+    EXPECT_NEAR(result.sta_fmax_mhz, 707.0, 0.5);
+    EXPECT_NEAR(result.class_period_ps.at(ExClass::Sub),
+                CalibrationTargets{}.add_period_ps, 0.5);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,129 @@
+#include "timing/const_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/alu.hpp"
+#include "util/rng.hpp"
+
+namespace sfi {
+namespace {
+
+TEST(ConstProp, UnpinnedInputsAreVariable) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    n.set_output("y", 0, n.inv(a));
+    const auto state = propagate_constants(n, {});
+    EXPECT_EQ(state[a], NetConst::Variable);
+}
+
+TEST(ConstProp, PinnedValuesPropagateThroughGates) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId b = n.add_input("b", 0);
+    const NetId and_ab = n.and2(a, b);
+    const NetId or_ab = n.or2(a, b);
+    const NetId xor_ab = n.xor2(a, b);
+    n.set_output("y", 0, and_ab);
+    // b = 0: and2 -> 0, or2 -> variable (= a), xor2 -> variable.
+    const auto state = propagate_constants(n, {{"b", 0}});
+    EXPECT_EQ(state[and_ab], NetConst::Zero);
+    EXPECT_EQ(state[or_ab], NetConst::Variable);
+    EXPECT_EQ(state[xor_ab], NetConst::Variable);
+}
+
+TEST(ConstProp, ControllingValuesDominate) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId one = n.add_tie(true);
+    const NetId zero = n.add_tie(false);
+    const NetId or_one = n.or2(a, one);
+    const NetId nand_zero = n.nand2(a, zero);
+    const NetId nor_one = n.nor2(a, one);
+    n.set_output("y", 0, or_one);
+    const auto state = propagate_constants(n, {});
+    EXPECT_EQ(state[or_one], NetConst::One);
+    EXPECT_EQ(state[nand_zero], NetConst::One);
+    EXPECT_EQ(state[nor_one], NetConst::Zero);
+}
+
+TEST(ConstProp, MuxWithConstantSelect) {
+    Netlist n;
+    const NetId d0 = n.add_input("a", 0);
+    const NetId d1 = n.add_input("a", 1);
+    const NetId sel = n.add_input("s", 0);
+    const NetId mux = n.mux2(sel, d0, d1);
+    n.set_output("y", 0, mux);
+    EXPECT_EQ(propagate_constants(n, {{"s", 0}})[mux], NetConst::Variable);
+    // With sel=0 and the whole a-bus pinned, the mux output is the pinned
+    // d0 value (0) regardless of d1.
+    const auto state = propagate_constants(n, {{"s", 0}, {"a", 0b10}});
+    EXPECT_EQ(state[mux], NetConst::Zero);
+    const auto state1 = propagate_constants(n, {{"s", 1}, {"a", 0b10}});
+    EXPECT_EQ(state1[mux], NetConst::One);
+}
+
+TEST(ConstProp, MuxAgreeingDataInputs) {
+    Netlist n;
+    const NetId sel = n.add_input("s", 0);
+    const NetId zero1 = n.add_tie(false);
+    const NetId zero2 = n.add_tie(false);
+    const NetId mux = n.mux2(sel, zero1, zero2);
+    n.set_output("y", 0, mux);
+    EXPECT_EQ(propagate_constants(n, {})[mux], NetConst::Zero);
+}
+
+TEST(ConstProp, AluOpPinningPrunesOtherUnits) {
+    const Alu alu = build_alu();
+    const auto add_state = propagate_constants(
+        alu.netlist, {{"op", Alu::op_code(ExClass::Add)}});
+    const auto mul_state = propagate_constants(
+        alu.netlist, {{"op", Alu::op_code(ExClass::Mul)}});
+    // With operand isolation, the multiplier cone collapses to constants
+    // for the add instruction: the active cone is far smaller.
+    const std::size_t add_active = count_variable(add_state);
+    const std::size_t mul_active = count_variable(mul_state);
+    EXPECT_LT(add_active, mul_active / 2);
+    // Cross-check: every multiplier-unit cell is constant under add.
+    std::size_t live_mul_cells = 0;
+    for (NetId id = 0; id < alu.netlist.cell_count(); ++id)
+        if (alu.unit_of[id] == AluUnit::Multiplier &&
+            add_state[id] == NetConst::Variable)
+            ++live_mul_cells;
+    EXPECT_EQ(live_mul_cells, 0u);
+}
+
+TEST(ConstProp, PrunedEvalMatchesFullEvalOnRandomVectors) {
+    // Constant propagation must agree with functional evaluation: every
+    // net marked constant must hold that value for any operand vector.
+    const Alu alu = build_alu();
+    Rng rng(77);
+    for (const ExClass cls : {ExClass::Add, ExClass::Mul, ExClass::Sra}) {
+        const std::uint64_t op = Alu::op_code(cls);
+        const auto state = propagate_constants(alu.netlist, {{"op", op}});
+        for (int trial = 0; trial < 5; ++trial) {
+            std::vector<std::uint8_t> values(alu.netlist.cell_count(), 0);
+            const std::uint32_t a = rng.u32(), b = rng.u32();
+            for (std::size_t bit = 0; bit < 32; ++bit) {
+                values[alu.netlist.input_bus("a")[bit]] = (a >> bit) & 1;
+                values[alu.netlist.input_bus("b")[bit]] = (b >> bit) & 1;
+            }
+            for (std::size_t bit = 0; bit < 4; ++bit)
+                values[alu.netlist.input_bus("op")[bit]] = (op >> bit) & 1;
+            alu.netlist.eval_into(values);
+            for (NetId id = 0; id < alu.netlist.cell_count(); ++id) {
+                if (state[id] == NetConst::Variable) continue;
+                EXPECT_EQ(values[id], state[id] == NetConst::One ? 1 : 0)
+                    << "net " << id << " class " << ex_class_name(cls);
+            }
+        }
+    }
+}
+
+TEST(ConstProp, UnknownBusThrows) {
+    Netlist n;
+    n.set_output("y", 0, n.add_input("a", 0));
+    EXPECT_THROW(propagate_constants(n, {{"bogus", 1}}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sfi

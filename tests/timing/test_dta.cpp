@@ -1,0 +1,131 @@
+#include "timing/dta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timing/calibration.hpp"
+#include "timing/sta.hpp"
+
+namespace sfi {
+namespace {
+
+struct DtaTest : ::testing::Test {
+    static const Alu& alu() {
+        static const Alu instance = build_alu();
+        return instance;
+    }
+    static const InstanceTiming& timing() {
+        static const InstanceTiming instance = [] {
+            const TimingLib& lib = shared_lib();
+            InstanceTiming t(alu().netlist, lib);
+            calibrate_alu(alu(), t);
+            return t;
+        }();
+        return instance;
+    }
+    static const TimingLib& shared_lib() {
+        static const TimingLib lib;
+        return lib;
+    }
+    static DtaConfig small_config() {
+        DtaConfig config;
+        config.cycles = 512;
+        return config;
+    }
+};
+
+TEST_F(DtaTest, ProducesOneSamplePerEndpointPerCycle) {
+    const DtaClassResult result =
+        run_dta_class(alu(), timing(), ExClass::Add, small_config());
+    ASSERT_EQ(result.arrivals_ps.size(), 32u);
+    for (const auto& samples : result.arrivals_ps)
+        EXPECT_EQ(samples.size(), 512u);
+    EXPECT_GT(result.events, 0u);
+    EXPECT_GT(result.active_cells, 0u);
+}
+
+TEST_F(DtaTest, Deterministic) {
+    const DtaClassResult a =
+        run_dta_class(alu(), timing(), ExClass::Sub, small_config());
+    const DtaClassResult b =
+        run_dta_class(alu(), timing(), ExClass::Sub, small_config());
+    EXPECT_EQ(a.arrivals_ps, b.arrivals_ps);
+}
+
+TEST_F(DtaTest, SeedsDifferPerClassButResultsBounded) {
+    const DtaClassResult add =
+        run_dta_class(alu(), timing(), ExClass::Add, small_config());
+    const StaResult sta = run_sta(alu().netlist, timing(),
+                                  {{"op", Alu::op_code(ExClass::Add)}});
+    for (std::size_t bit = 0; bit < 32; ++bit)
+        for (const float arr : add.arrivals_ps[bit])
+            EXPECT_LE(arr, sta.endpoint_ps[bit] + 1e-3) << bit;
+}
+
+TEST_F(DtaTest, MulArrivalsDominateAddArrivals) {
+    const DtaClassResult add =
+        run_dta_class(alu(), timing(), ExClass::Add, small_config());
+    const DtaClassResult mul =
+        run_dta_class(alu(), timing(), ExClass::Mul, small_config());
+    EXPECT_GT(mul.max_arrival_ps, add.max_arrival_ps);
+}
+
+TEST_F(DtaTest, HighBitsFailBeforeLowBitsForMul) {
+    const DtaClassResult mul =
+        run_dta_class(alu(), timing(), ExClass::Mul, small_config());
+    auto max_of = [&](std::size_t bit) {
+        float worst = 0.0f;
+        for (const float a : mul.arrivals_ps[bit]) worst = std::max(worst, a);
+        return worst;
+    };
+    EXPECT_GT(max_of(24), max_of(3));
+    EXPECT_GT(max_of(31), max_of(8));
+}
+
+TEST_F(DtaTest, RestrictedOperandBitsLowerHighEndpointActivity) {
+    DtaConfig narrow = small_config();
+    narrow.operand_bits = 16;
+    const DtaClassResult full =
+        run_dta_class(alu(), timing(), ExClass::Add, small_config());
+    const DtaClassResult halfw =
+        run_dta_class(alu(), timing(), ExClass::Add, narrow);
+    // 16-bit operands: sums fit in 17 bits, so endpoints 18..31 never
+    // toggle and their arrivals stay 0 (the add16 vs add32 PoFF spread of
+    // the paper's Fig. 4).
+    float max_high = 0.0f;
+    for (std::size_t bit = 18; bit < 32; ++bit)
+        for (const float a : halfw.arrivals_ps[bit])
+            max_high = std::max(max_high, a);
+    EXPECT_EQ(max_high, 0.0f);
+    EXPECT_LT(halfw.max_arrival_ps, full.max_arrival_ps);
+}
+
+TEST_F(DtaTest, FullRunCoversAllClasses) {
+    DtaConfig config = small_config();
+    config.cycles = 128;
+    const DtaResult result = run_dta(alu(), timing(), config);
+    EXPECT_EQ(result.classes.size(), Alu::instruction_classes().size());
+    EXPECT_EQ(result.cycles, 128u);
+    EXPECT_DOUBLE_EQ(result.setup_ps, timing().setup_ps());
+    double worst = 0.0;
+    for (const auto& cls : result.classes)
+        worst = std::max(worst, cls.max_arrival_ps);
+    EXPECT_DOUBLE_EQ(result.worst_arrival_ps, worst);
+    // Dynamic slack: the observed worst arrival can never exceed the
+    // design STA bound.
+    const StaResult sta = endpoint_worst_sta(alu(), timing());
+    EXPECT_LE(result.worst_arrival_ps, sta.worst_ps + 1e-3);
+}
+
+TEST_F(DtaTest, MulDynamicSlackIsSmall) {
+    // Random operands excite near-critical multiplier paths easily: the
+    // dynamic limit sits within a few percent of the static one. This is
+    // why mul-heavy kernels show no PoFF gain in the paper.
+    const DtaClassResult mul =
+        run_dta_class(alu(), timing(), ExClass::Mul, small_config());
+    const StaResult sta = run_sta(alu().netlist, timing(),
+                                  {{"op", Alu::op_code(ExClass::Mul)}});
+    EXPECT_GT(mul.max_arrival_ps, 0.9 * sta.worst_ps);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,89 @@
+// Tests for the per-voltage re-characterization path (validating the
+// paper's uniform-scaling approximation, footnote 1).
+#include <gtest/gtest.h>
+
+#include "circuits/alu.hpp"
+#include "timing/dta.hpp"
+#include "timing/sta.hpp"
+#include "timing/timing_lib.hpp"
+
+namespace sfi {
+namespace {
+
+TEST(VoltageFactor, UniformWithoutSpread) {
+    const TimingLib lib;
+    for (const CellType type :
+         {CellType::Inv, CellType::Nand2, CellType::Xor2, CellType::Mux2})
+        EXPECT_DOUBLE_EQ(lib.voltage_factor(type, 0.7), lib.law().factor(0.7));
+}
+
+TEST(VoltageFactor, SpreadDifferentiatesCellTypes) {
+    TimingLibConfig config;
+    config.cell_alpha_spread = 0.08;
+    const TimingLib lib(config);
+    const double inv = lib.voltage_factor(CellType::Inv, 0.65);
+    const double xr = lib.voltage_factor(CellType::Xor2, 0.65);
+    EXPECT_NE(inv, xr);
+    // All factors stay in a plausible band around the base law.
+    for (std::size_t t = 3; t < static_cast<std::size_t>(CellType::kCount); ++t) {
+        const double f =
+            lib.voltage_factor(static_cast<CellType>(t), 0.65);
+        EXPECT_NEAR(f / lib.law().factor(0.65), 1.0, 0.25);
+    }
+}
+
+TEST(AtVoltage, ScalesDelaysSetupAndLaunch) {
+    const Alu alu = build_alu();
+    const TimingLib lib;  // no spread: exact uniform scaling
+    const InstanceTiming ref(alu.netlist, lib);
+    const InstanceTiming at07 = ref.at_voltage(0.7);
+    const double factor = lib.law().factor(0.7);
+    for (NetId id = 100; id < 120; ++id)
+        EXPECT_NEAR(at07.rise_ps(id), ref.rise_ps(id) * factor, 1e-9);
+    EXPECT_NEAR(at07.setup_ps(), ref.setup_ps() * factor, 1e-9);
+    EXPECT_NEAR(at07.clk_to_q_ps(), ref.clk_to_q_ps() * factor, 1e-9);
+}
+
+TEST(AtVoltage, UniformScalingMakesStaExactlyProportional) {
+    const Alu alu = build_alu();
+    const TimingLib lib;
+    const InstanceTiming ref(alu.netlist, lib);
+    const StaResult sta_ref = run_sta(alu.netlist, ref);
+    const StaResult sta_07 = run_sta(alu.netlist, ref.at_voltage(0.7));
+    EXPECT_NEAR(sta_07.worst_ps, sta_ref.worst_ps * lib.law().factor(0.7),
+                1e-6);
+}
+
+TEST(AtVoltage, SpreadBreaksExactProportionality) {
+    TimingLibConfig config;
+    config.cell_alpha_spread = 0.08;
+    config.process_sigma = 0.0;
+    const TimingLib lib(config);
+    const Alu alu = build_alu();
+    const InstanceTiming ref(alu.netlist, lib);
+    const StaResult sta_ref = run_sta(alu.netlist, ref);
+    const StaResult sta_06 = run_sta(alu.netlist, ref.at_voltage(0.6));
+    const double uniform_prediction = sta_ref.worst_ps * lib.law().factor(0.6);
+    // Deviation is visible but bounded (a few percent).
+    const double rel = sta_06.worst_ps / uniform_prediction - 1.0;
+    EXPECT_GT(std::abs(rel), 1e-4);
+    EXPECT_LT(std::abs(rel), 0.15);
+}
+
+TEST(AtVoltage, PerVoltageDtaStaysWithinApproximationBand) {
+    const Alu alu = build_alu();
+    TimingLibConfig config;
+    config.cell_alpha_spread = 0.06;
+    const TimingLib lib(config);
+    const InstanceTiming ref(alu.netlist, lib);
+    DtaConfig dta;
+    dta.cycles = 256;
+    const DtaClassResult truth =
+        run_dta_class(alu, ref.at_voltage(0.8), ExClass::Add, dta);
+    const DtaClassResult base = run_dta_class(alu, ref, ExClass::Add, dta);
+    const double approx = base.max_arrival_ps * lib.law().factor(0.8);
+    EXPECT_NEAR(truth.max_arrival_ps / approx, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,150 @@
+#include "timing/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/alu.hpp"
+#include "timing/calibration.hpp"
+
+namespace sfi {
+namespace {
+
+TimingLib flat_lib() {
+    TimingLibConfig config;
+    config.process_sigma = 0.0;
+    config.load_per_fanout = 0.0;
+    config.clk_to_q_ps = 0.0;
+    config.ff_setup_ps = 0.0;
+    return TimingLib(config);
+}
+
+TEST(Sta, ChainDelayAddsUp) {
+    Netlist n;
+    NetId x = n.add_input("a", 0);
+    for (int i = 0; i < 4; ++i) x = n.inv(x);
+    n.set_output("y", 0, x);
+    const TimingLib lib = flat_lib();
+    const InstanceTiming timing(n, lib);
+    const StaResult sta = run_sta(n, timing);
+    EXPECT_DOUBLE_EQ(sta.worst_ps, 4.0 * lib.intrinsic_rise_ps(CellType::Inv));
+    EXPECT_EQ(sta.critical_path.size(), 5u);  // input + 4 inverters
+}
+
+TEST(Sta, PicksLongerBranch) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId short_path = n.inv(a);
+    NetId long_path = n.inv(a);
+    long_path = n.inv(long_path);
+    long_path = n.inv(long_path);
+    n.set_output("y", 0, n.and2(short_path, long_path));
+    const TimingLib lib = flat_lib();
+    const InstanceTiming timing(n, lib);
+    const StaResult sta = run_sta(n, timing);
+    const double inv = lib.intrinsic_rise_ps(CellType::Inv);
+    const double and2 = lib.intrinsic_rise_ps(CellType::And2);
+    EXPECT_DOUBLE_EQ(sta.worst_ps, 3.0 * inv + and2);
+}
+
+TEST(Sta, LaunchDelayIncluded) {
+    Netlist n;
+    n.set_output("y", 0, n.inv(n.add_input("a", 0)));
+    TimingLibConfig config;
+    config.process_sigma = 0.0;
+    config.load_per_fanout = 0.0;
+    config.clk_to_q_ps = 37.0;
+    const TimingLib lib(config);
+    const InstanceTiming timing(n, lib);
+    const StaResult sta = run_sta(n, timing);
+    EXPECT_DOUBLE_EQ(sta.worst_ps,
+                     37.0 + lib.intrinsic_rise_ps(CellType::Inv));
+}
+
+TEST(Sta, FmaxFromPeriodAndSetup) {
+    StaResult sta;
+    sta.worst_ps = 955.0;
+    sta.setup_ps = 45.0;
+    EXPECT_DOUBLE_EQ(sta.min_period_ps(), 1000.0);
+    EXPECT_DOUBLE_EQ(sta.fmax_mhz(), 1000.0);       // 1 ns -> 1 GHz
+    EXPECT_DOUBLE_EQ(sta.min_period_ps(2.0), 2000.0);
+    EXPECT_DOUBLE_EQ(sta.fmax_mhz(2.0), 500.0);
+}
+
+TEST(Sta, ConstantInputsPrunePaths) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId s = n.add_input("s", 0);
+    // Long chain gated by an AND with s.
+    NetId chain = n.inv(a);
+    for (int i = 0; i < 6; ++i) chain = n.inv(chain);
+    const NetId gated = n.and2(chain, s);
+    n.set_output("y", 0, n.or2(gated, n.inv(a)));
+    const TimingLib lib = flat_lib();
+    const InstanceTiming timing(n, lib);
+    const StaResult full = run_sta(n, timing);
+    const StaResult pruned = run_sta(n, timing, {{"s", 0}});
+    EXPECT_LT(pruned.worst_ps, full.worst_ps);
+}
+
+TEST(Sta, MuxConstantSelectBlocksDeselectedPin) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId sel = n.add_input("s", 0);
+    NetId slow = a;
+    for (int i = 0; i < 8; ++i) slow = n.inv(slow);
+    const NetId fast = n.inv(a);
+    n.set_output("y", 0, n.mux2(sel, fast, slow));  // d0 = fast, d1 = slow
+    const TimingLib lib = flat_lib();
+    const InstanceTiming timing(n, lib);
+    const double with_slow = run_sta(n, timing, {{"s", 1}}).worst_ps;
+    const double with_fast = run_sta(n, timing, {{"s", 0}}).worst_ps;
+    EXPECT_GT(with_slow, with_fast + 5.0);
+}
+
+TEST(Sta, InstructionConditionedOrderingOnAlu) {
+    // Pruned per-class STA on the real ALU: mul must be the slowest class,
+    // logic classes the fastest (after calibration, by construction).
+    const Alu alu = build_alu();
+    const TimingLib lib;
+    InstanceTiming timing(alu.netlist, lib);
+    calibrate_alu(alu, timing);
+    auto period = [&](ExClass cls) {
+        return run_sta(alu.netlist, timing, {{"op", Alu::op_code(cls)}})
+            .min_period_ps();
+    };
+    EXPECT_GT(period(ExClass::Mul), period(ExClass::Sub));
+    EXPECT_GT(period(ExClass::Sub), period(ExClass::And));
+    EXPECT_GT(period(ExClass::Mul), period(ExClass::Sll));
+}
+
+TEST(Sta, EndpointDelaysGrowWithBitIndexForAdder) {
+    const Alu alu = build_alu();
+    const TimingLib lib;
+    const InstanceTiming timing(alu.netlist, lib);
+    const StaResult sta =
+        run_sta(alu.netlist, timing, {{"op", Alu::op_code(ExClass::Add)}});
+    ASSERT_EQ(sta.endpoint_ps.size(), 32u);
+    EXPECT_GT(sta.endpoint_ps[24], sta.endpoint_ps[3]);
+    EXPECT_GT(sta.endpoint_ps[31], sta.endpoint_ps[0]);
+}
+
+TEST(Sta, CriticalPathEndsAtWorstEndpoint) {
+    const Alu alu = build_alu();
+    const TimingLib lib;
+    const InstanceTiming timing(alu.netlist, lib);
+    const StaResult sta =
+        run_sta(alu.netlist, timing, {{"op", Alu::op_code(ExClass::Mul)}});
+    ASSERT_FALSE(sta.critical_path.empty());
+    const NetId last = sta.critical_path.back();
+    EXPECT_DOUBLE_EQ(sta.arrival_ps[last], sta.worst_ps);
+    // The path is connected: each cell's fanin includes its predecessor.
+    for (std::size_t i = 1; i < sta.critical_path.size(); ++i) {
+        const Cell& cell = alu.netlist.cell(sta.critical_path[i]);
+        bool connected = false;
+        for (const NetId in : cell.fanin)
+            connected |= in == sta.critical_path[i - 1];
+        EXPECT_TRUE(connected) << i;
+    }
+}
+
+}  // namespace
+}  // namespace sfi

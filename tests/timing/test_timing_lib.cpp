@@ -1,0 +1,125 @@
+#include "timing/timing_lib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/alu.hpp"
+
+namespace sfi {
+namespace {
+
+TEST(TimingLib, SourcesHaveZeroDelay) {
+    const TimingLib lib;
+    EXPECT_EQ(lib.intrinsic_rise_ps(CellType::Input), 0.0);
+    EXPECT_EQ(lib.intrinsic_rise_ps(CellType::Tie0), 0.0);
+}
+
+TEST(TimingLib, GatesHavePositiveDelays) {
+    const TimingLib lib;
+    for (const CellType type : {CellType::Inv, CellType::Buf, CellType::Nand2,
+                                CellType::Nor2, CellType::And2, CellType::Or2,
+                                CellType::Xor2, CellType::Xnor2, CellType::Mux2}) {
+        EXPECT_GT(lib.intrinsic_rise_ps(type), 0.0);
+        EXPECT_GT(lib.intrinsic_fall_ps(type), 0.0);
+    }
+}
+
+TEST(TimingLib, XorSlowerThanInverter) {
+    const TimingLib lib;
+    EXPECT_GT(lib.intrinsic_rise_ps(CellType::Xor2),
+              2.0 * lib.intrinsic_rise_ps(CellType::Inv));
+}
+
+TEST(TimingLib, RejectsNegativeConfig) {
+    TimingLibConfig config;
+    config.ff_setup_ps = -1.0;
+    EXPECT_THROW(TimingLib{config}, std::invalid_argument);
+}
+
+TEST(InstanceTiming, FanoutIncreasesDelay) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId single = n.inv(a);  // fanout 1 (drives one inv below)
+    const NetId heavy = n.inv(a);   // fanout 3
+    n.set_output("y", 0, n.inv(single));
+    n.set_output("y", 1, n.inv(heavy));
+    n.set_output("y", 2, n.inv(heavy));
+    n.set_output("y", 3, n.inv(heavy));
+    TimingLibConfig config;
+    config.process_sigma = 0.0;  // isolate the load effect
+    const TimingLib lib(config);
+    const InstanceTiming timing(n, lib);
+    EXPECT_GT(timing.rise_ps(heavy), timing.rise_ps(single));
+}
+
+TEST(InstanceTiming, ProcessVariationIsDeterministic) {
+    const Alu alu = build_alu();
+    const TimingLib lib;
+    const InstanceTiming t1(alu.netlist, lib);
+    const InstanceTiming t2(alu.netlist, lib);
+    for (NetId id = 0; id < 100; ++id)
+        EXPECT_EQ(t1.rise_ps(id), t2.rise_ps(id));
+}
+
+TEST(InstanceTiming, DifferentSeedsGiveDifferentDies) {
+    const Alu alu = build_alu();
+    TimingLibConfig c1, c2;
+    c2.process_seed = 999;
+    const InstanceTiming t1(alu.netlist, TimingLib(c1));
+    const TimingLib lib2(c2);
+    const InstanceTiming t2(alu.netlist, lib2);
+    std::size_t differing = 0;
+    for (NetId id = 100; id < 200; ++id)
+        if (t1.rise_ps(id) != t2.rise_ps(id)) ++differing;
+    EXPECT_GT(differing, 80u);
+}
+
+TEST(InstanceTiming, ZeroSigmaRemovesVariation) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId i1 = n.inv(a);
+    const NetId i2 = n.inv(a);
+    n.set_output("y", 0, i1);
+    n.set_output("y", 1, i2);
+    TimingLibConfig config;
+    config.process_sigma = 0.0;
+    config.load_per_fanout = 0.0;
+    const TimingLib lib(config);
+    const InstanceTiming timing(n, lib);
+    EXPECT_EQ(timing.rise_ps(i1), timing.rise_ps(i2));
+    EXPECT_EQ(timing.rise_ps(i1), lib.intrinsic_rise_ps(CellType::Inv));
+}
+
+TEST(InstanceTiming, ApplyCellScaleMultiplies) {
+    Netlist n;
+    const NetId a = n.add_input("a", 0);
+    const NetId g = n.inv(a);
+    n.set_output("y", 0, g);
+    TimingLibConfig config;
+    config.process_sigma = 0.0;
+    const TimingLib lib(config);
+    InstanceTiming timing(n, lib);
+    const double before = timing.rise_ps(g);
+    timing.apply_cell_scale({1.0, 2.5});
+    EXPECT_DOUBLE_EQ(timing.rise_ps(g), 2.5 * before);
+}
+
+TEST(InstanceTiming, ApplyCellScaleValidates) {
+    Netlist n;
+    n.set_output("y", 0, n.add_input("a", 0));
+    const TimingLib lib;
+    InstanceTiming timing(n, lib);
+    EXPECT_THROW(timing.apply_cell_scale({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(timing.apply_cell_scale({-1.0}), std::invalid_argument);
+}
+
+TEST(InstanceTiming, ExposesSetupAndClkToQ) {
+    const TimingLib lib;
+    Netlist n;
+    n.set_output("y", 0, n.add_input("a", 0));
+    const InstanceTiming timing(n, lib);
+    EXPECT_DOUBLE_EQ(timing.setup_ps(), lib.ff_setup_ps());
+    EXPECT_DOUBLE_EQ(timing.clk_to_q_ps(), lib.config().clk_to_q_ps);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+    std::vector<const char*> argv(args);
+    return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesNameValuePairs) {
+    const Cli cli = make({"prog", "--trials", "50", "--vdd", "0.8"});
+    EXPECT_EQ(cli.get_int("trials", 0), 50);
+    EXPECT_DOUBLE_EQ(cli.get_double("vdd", 0.0), 0.8);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+    const Cli cli = make({"prog", "--sigma=25", "--name=fig5"});
+    EXPECT_EQ(cli.get_int("sigma", 0), 25);
+    EXPECT_EQ(cli.get("name", ""), "fig5");
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+    const Cli cli = make({"prog", "--verbose", "--fast"});
+    EXPECT_TRUE(cli.get_bool("verbose", false));
+    EXPECT_TRUE(cli.get_bool("fast", false));
+}
+
+TEST(Cli, BooleanFalseSpellings) {
+    const Cli cli = make({"prog", "--a=0", "--b=false", "--c=no", "--d=off"});
+    for (const char* name : {"a", "b", "c", "d"})
+        EXPECT_FALSE(cli.get_bool(name, true)) << name;
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+    const Cli cli = make({"prog"});
+    EXPECT_EQ(cli.get_int("trials", 42), 42);
+    EXPECT_DOUBLE_EQ(cli.get_double("vdd", 0.7), 0.7);
+    EXPECT_EQ(cli.get("name", "x"), "x");
+    EXPECT_FALSE(cli.has("trials"));
+}
+
+TEST(Cli, PositionalArguments) {
+    const Cli cli = make({"prog", "median", "--trials", "5", "extra"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "median");
+    EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, HexIntegers) {
+    const Cli cli = make({"prog", "--seed", "0x10"});
+    EXPECT_EQ(cli.get_int("seed", 0), 16);
+}
+
+TEST(Cli, FlagFollowedByFlagIsBoolean) {
+    const Cli cli = make({"prog", "--fast", "--trials", "7"});
+    EXPECT_TRUE(cli.get_bool("fast", false));
+    EXPECT_EQ(cli.get_int("trials", 0), 7);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,74 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sfi {
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+struct TempFile {
+    std::string path;
+    explicit TempFile(const char* name)
+        : path(std::string(::testing::TempDir()) + name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+    EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(FormatDouble, RoundTrips) {
+    for (double v : {0.0, 1.5, -2.25, 1.0 / 3.0, 1e-20, 123456789.123456}) {
+        EXPECT_EQ(std::strtod(format_double(v).c_str(), nullptr), v);
+    }
+}
+
+TEST(FormatDouble, SpecialValues) {
+    EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+    EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+    TempFile tmp("sfi_csv_test1.csv");
+    {
+        CsvWriter csv(tmp.path);
+        csv.header({"a", "b"});
+        csv.cell(1.5).cell(std::string("x,y"));
+        csv.end_row();
+        csv.row({2.0, 3.0});
+        EXPECT_EQ(csv.rows_written(), 2u);
+    }
+    EXPECT_EQ(read_file(tmp.path), "a,b\n1.5,\"x,y\"\n2,3\n");
+}
+
+TEST(CsvWriter, IntegerCells) {
+    TempFile tmp("sfi_csv_test2.csv");
+    {
+        CsvWriter csv(tmp.path);
+        csv.cell(static_cast<std::int64_t>(-7))
+            .cell(static_cast<std::uint64_t>(9));
+        csv.end_row();
+    }
+    EXPECT_EQ(read_file(tmp.path), "-7,9\n");
+}
+
+TEST(CsvWriter, BadPathThrows) {
+    EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfi

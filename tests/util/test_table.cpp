@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sfi {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"name", "v"});
+    t.add_row({"a", "1"});
+    t.add_row({"longer", "22"});
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // All lines have equal or consistent widths: header line length equals
+    // data line length.
+    std::istringstream is(out);
+    std::string header, sep, row1, row2;
+    std::getline(is, header);
+    std::getline(is, sep);
+    std::getline(is, row1);
+    std::getline(is, row2);
+    EXPECT_EQ(header.size(), row1.size());
+    EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(TextTable, ShortRowsPadded) {
+    TextTable t({"a", "b", "c"});
+    t.add_row({"1"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, EmptyColumnsThrow) {
+    EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Fmt, Fixed) {
+    EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt_fixed(-1.0, 1), "-1.0");
+}
+
+TEST(Fmt, Sci) { EXPECT_EQ(fmt_sci(123456.0, 3), "1.23e+05"); }
+
+TEST(Fmt, Pct) {
+    EXPECT_EQ(fmt_pct(0.975), "97.5%");
+    EXPECT_EQ(fmt_pct(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace sfi
