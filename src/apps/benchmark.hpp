@@ -43,11 +43,11 @@ public:
 
     /// Row of the paper's Table 1.
     struct Table1Row {
-        std::string type;
-        std::string compute;  // "-", "+", "++"
-        std::string control;
-        std::string size;
-        std::string error_metric;
+        std::string type;          ///< workload family ("sorting", ...)
+        std::string compute;       ///< compute intensity: "-", "+" or "++"
+        std::string control;       ///< control intensity: "-", "+" or "++"
+        std::string size;          ///< problem size ("129 values", ...)
+        std::string error_metric;  ///< name of the output-error metric
     };
     virtual Table1Row table1_row() const = 0;
 

@@ -8,7 +8,7 @@
 //
 // Deviation from ORBIS32 documented in DESIGN.md: branches have NO delay
 // slot (mor1kx "no-delay" variant); this affects cycle counts only, not
-// fault-injection behaviour.
+// fault-injection behaviour. Full subset reference: docs/ISA.md.
 #pragma once
 
 #include <cstdint>

@@ -19,24 +19,27 @@
 namespace sfi {
 
 struct McConfig {
-    std::size_t trials = 100;
-    std::uint64_t seed = 1;
+    std::size_t trials = 100;  ///< independent runs per operating point (paper: >= 100)
+    std::uint64_t seed = 1;    ///< base of the per-trial RNG streams
     /// Watchdog limit as a multiple of the fault-free kernel run time;
     /// runs exceeding it count as "did not finish" (infinite-loop guard,
     /// paper §2.2).
     double watchdog_factor = 8.0;
 };
 
+/// Result of one fault-injected run of a benchmark.
 struct TrialOutcome {
     StopReason stop = StopReason::Halted;
-    bool finished = false;
-    bool correct = false;
-    double output_error = 0.0;  ///< valid only when finished
-    FiStats fi;
-    std::uint64_t cycles = 0;
-    std::uint64_t kernel_cycles = 0;
+    bool finished = false;      ///< halted normally before the watchdog fired
+    bool correct = false;       ///< finished AND output bit-exact vs. golden
+    double output_error = 0.0;  ///< benchmark quality metric; valid only when finished
+    FiStats fi;                 ///< injection counters from the fault model
+    std::uint64_t cycles = 0;         ///< total simulated cycles
+    std::uint64_t kernel_cycles = 0;  ///< cycles inside the marked kernel region
 };
 
+/// Aggregate of config.trials TrialOutcomes at one operating point — one
+/// x-axis sample of the paper's figure panels.
 struct PointSummary {
     OperatingPoint point;
     std::size_t trials = 0;

@@ -38,9 +38,11 @@ bool cell_eval(CellType type, bool in0, bool in1, bool in2);
 using NetId = std::uint32_t;
 constexpr NetId kNoNet = 0xffffffffu;
 
+/// One single-output gate instance; its output net id is its position in
+/// the netlist's cell vector.
 struct Cell {
     CellType type = CellType::Input;
-    std::array<NetId, 3> fanin = {kNoNet, kNoNet, kNoNet};
+    std::array<NetId, 3> fanin = {kNoNet, kNoNet, kNoNet};  ///< unused pins = kNoNet
 };
 
 class Netlist {
@@ -49,6 +51,7 @@ public:
     /// Adds a primary input bit to bus `bus` at position `bit` and returns
     /// its net. Bus positions must be added exactly once.
     NetId add_input(const std::string& bus, std::size_t bit);
+    /// Adds a constant-0/1 cell (Tie0/Tie1) and returns its net.
     NetId add_tie(bool value);
     /// Adds a gate. Fanins must be existing nets (enforces the DAG).
     NetId add_gate(CellType type, NetId in0, NetId in1 = kNoNet,

@@ -11,13 +11,15 @@
 
 namespace sfi {
 
+/// The two post-layout VCD reference points of the paper (§4.4,
+/// footnote 2) that anchor the quadratic active-power fit.
 struct PowerModelConfig {
-    double ref_v_low = 0.6;
-    double ref_uw_per_mhz_low = 10.9;
-    double leak_frac_low = 0.02;
-    double ref_v_high = 0.7;
-    double ref_uw_per_mhz_high = 15.0;
-    double leak_frac_high = 0.03;
+    double ref_v_low = 0.6;            ///< lower reference supply (V)
+    double ref_uw_per_mhz_low = 10.9;  ///< active power at ref_v_low, µW/MHz
+    double leak_frac_low = 0.02;       ///< leakage share of total power at ref_v_low
+    double ref_v_high = 0.7;           ///< upper reference supply (V)
+    double ref_uw_per_mhz_high = 15.0; ///< active power at ref_v_high, µW/MHz
+    double leak_frac_high = 0.03;      ///< leakage share of total power at ref_v_high
 };
 
 class PowerModel {

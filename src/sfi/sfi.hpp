@@ -10,6 +10,9 @@
 //   sfi::MonteCarloRunner runner(*bench, *model);
 //   auto point = runner.run_point({.freq_mhz = 750, .vdd = 0.7,
 //                                  .noise = {.sigma_mv = 10}});
+//
+// docs/ARCHITECTURE.md walks through the pipeline behind these types;
+// DESIGN.md records the deviations from the paper's exact setup.
 #pragma once
 
 #include "apps/benchmark.hpp"

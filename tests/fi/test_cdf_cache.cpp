@@ -1,0 +1,110 @@
+// CDF cache round-trip of CharacterizedCore (see docs/ARCHITECTURE.md):
+// a second construction with the same configuration and cache path must
+// load the cached store instead of re-running DTA; a configuration
+// change or a corrupt payload must fall back to recharacterization.
+#include "fi/core_model.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sfi {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<char> read_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+class CdfCacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        // Per-process filename: concurrent ctest runs (e.g. the default and
+        // debug build trees) must not clobber each other's cache file.
+        cache_path_ = (fs::path(::testing::TempDir()) /
+                       ("sfi_cdf_cache_smoke_" + std::to_string(::getpid()) +
+                        ".bin"))
+                          .string();
+        fs::remove(cache_path_);
+    }
+    void TearDown() override { fs::remove(cache_path_); }
+
+    // Short DTA kernel: the cache mechanics are length-independent.
+    CoreModelConfig config(std::size_t cycles = 256) const {
+        CoreModelConfig c;
+        c.dta.cycles = cycles;
+        c.cdf_cache_path = cache_path_;
+        return c;
+    }
+
+    std::string cache_path_;
+};
+
+TEST_F(CdfCacheTest, FirstConstructionWritesCache) {
+    const CharacterizedCore core(config());
+    ASSERT_TRUE(fs::exists(cache_path_));
+    // fingerprint (8 bytes) + non-empty serialized store
+    EXPECT_GT(fs::file_size(cache_path_), 8u);
+}
+
+TEST_F(CdfCacheTest, SecondConstructionHitsCache) {
+    const CharacterizedCore first(config());
+    ASSERT_TRUE(fs::exists(cache_path_));
+    const std::vector<char> cached = read_file(cache_path_);
+    ASSERT_GT(cached.size(), 8u);
+
+    // Forge the cached payload: keep the valid fingerprint but store the
+    // CDFs of a differently-seeded characterization. Only a genuine cache
+    // hit can surface the forged store — a silent re-characterization
+    // would reproduce `first`'s CDFs instead.
+    CoreModelConfig forged_config = config();
+    forged_config.cdf_cache_path.clear();
+    forged_config.dta.seed ^= 0x5eedULL;
+    const CharacterizedCore forged(forged_config);
+    ASSERT_FALSE(*forged.cdfs() == *first.cdfs());
+    {
+        std::ofstream os(cache_path_, std::ios::binary | std::ios::trunc);
+        os.write(cached.data(), 8);
+        forged.cdfs()->save(os);
+    }
+
+    const CharacterizedCore second(config());
+    EXPECT_TRUE(*second.cdfs() == *forged.cdfs());
+    EXPECT_FALSE(*second.cdfs() == *first.cdfs());
+}
+
+TEST_F(CdfCacheTest, SameConfigReproducesIdenticalStore) {
+    const CharacterizedCore first(config());
+    const CharacterizedCore second(config());
+    EXPECT_TRUE(*second.cdfs() == *first.cdfs());
+}
+
+TEST_F(CdfCacheTest, FingerprintChangeInvalidatesCache) {
+    const CharacterizedCore first(config(256));
+    const CharacterizedCore second(config(512));
+    EXPECT_EQ(second.cdfs()->samples_per_endpoint(), 512u);
+    EXPECT_FALSE(*second.cdfs() == *first.cdfs());
+    // The cache now holds the new fingerprint + store.
+    const CharacterizedCore third(config(512));
+    EXPECT_TRUE(*third.cdfs() == *second.cdfs());
+}
+
+TEST_F(CdfCacheTest, CorruptPayloadFallsBackToCharacterization) {
+    const CharacterizedCore first(config());
+    const std::vector<char> cached = read_file(cache_path_);
+    ASSERT_GT(cached.size(), 16u);
+    // Truncate the payload but keep the valid fingerprint.
+    std::ofstream(cache_path_, std::ios::binary | std::ios::trunc)
+        .write(cached.data(), 16);
+    const CharacterizedCore second(config());
+    EXPECT_TRUE(*second.cdfs() == *first.cdfs());
+}
+
+}  // namespace
+}  // namespace sfi
