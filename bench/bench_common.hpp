@@ -2,6 +2,8 @@
 //
 // Every bench accepts:
 //   --trials N       Monte-Carlo trials per data point (default varies)
+//   --threads N      MC worker threads per data point (default 0 = one per
+//                    hardware thread; results are bit-identical at any N)
 //   --dta-cycles N   DTA characterization kernel length (default 8192)
 //   --seed S         Monte-Carlo base seed
 //   --cache PATH     CDF cache file (default sfi_cdf_cache.bin in cwd)
@@ -23,6 +25,7 @@ struct Context {
     CoreModelConfig core_config;
     std::size_t trials;
     std::uint64_t seed;
+    std::size_t threads;
     std::string csv_dir;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
@@ -31,7 +34,8 @@ struct Context {
         : cli(argc, argv),
           trials(static_cast<std::size_t>(
               cli.get_int("trials", static_cast<std::int64_t>(default_trials)))),
-          seed(static_cast<std::uint64_t>(cli.get_int("seed", 1))) {
+          seed(static_cast<std::uint64_t>(cli.get_int("seed", 1))),
+          threads(cli.get_threads()) {
         core_config.dta.cycles =
             static_cast<std::size_t>(cli.get_int("dta-cycles", 8192));
         core_config.cdf_cache_path = cli.get("cache", "sfi_cdf_cache.bin");
@@ -62,6 +66,7 @@ struct Context {
         McConfig config;
         config.trials = trials;
         config.seed = seed;
+        config.threads = threads;  // parallel MC; output is bit-identical
         return config;
     }
 

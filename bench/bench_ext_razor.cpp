@@ -46,6 +46,10 @@ int main(int argc, char** argv) {
         std::uint64_t detected = 0, escaped = 0;
         double eff_sum = 0.0;
         RunningStats raw_rate;
+        // Serial run_trial loop (not run_point): this bench reads the
+        // Razor model's detection counters after every trial, which the
+        // parallel engine's per-worker clones don't expose — so --threads
+        // has no effect here.
         for (std::size_t trial = 0; trial < ctx.trials; ++trial) {
             razor_model->reset_mitigation_stats();
             const TrialOutcome outcome = runner.run_trial(point, trial);

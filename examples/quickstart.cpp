@@ -2,7 +2,7 @@
 // fault injection (model C), and print the four application metrics.
 //
 //   $ ./examples/quickstart [--freq 760] [--vdd 0.7] [--sigma 10]
-//                           [--benchmark median] [--trials 50]
+//                           [--benchmark median] [--trials 50] [--threads 0]
 #include <iostream>
 
 #include "sfi/sfi.hpp"
@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
     // 4. Monte-Carlo fault-injection campaign.
     McConfig mc;
     mc.trials = static_cast<std::size_t>(cli.get_int("trials", 50));
+    // 0 = one worker per hardware thread; any value is bit-identical.
+    mc.threads = cli.get_threads();
     MonteCarloRunner runner(*bench, *model, mc);
     std::cout << bench->name() << ": fault-free kernel = "
               << runner.golden_run().kernel_cycles << " cycles\n";

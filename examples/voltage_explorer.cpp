@@ -3,7 +3,7 @@
 // and therefore power — can be saved at the nominal frequency.
 //
 //   $ ./examples/voltage_explorer --benchmark kmeans --sigma 10
-//         --max-error 5 --trials 60
+//         --max-error 5 --trials 60 [--threads 0]
 #include <iostream>
 
 #include "sfi/sfi.hpp"
@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     auto model = core.make_model_c();
     McConfig mc;
     mc.trials = static_cast<std::size_t>(cli.get_int("trials", 60));
+    mc.threads = cli.get_threads();
     MonteCarloRunner runner(*bench, *model, mc);
 
     OperatingPoint base;

@@ -50,6 +50,12 @@ public:
     /// FI-active cycle. Returns the (possibly corrupted) 32-bit result.
     virtual std::uint32_t on_ex_result(const ExEvent& ev,
                                        std::uint32_t correct) = 0;
+
+protected:
+    ExFaultHook() = default;
+    // Copyable only through derived classes (FaultModel::clone()).
+    ExFaultHook(const ExFaultHook&) = default;
+    ExFaultHook& operator=(const ExFaultHook&) = default;
 };
 
 /// Why a run stopped.
@@ -115,6 +121,7 @@ public:
     std::uint64_t instructions() const { return instructions_; }
     bool fi_active() const { return fi_active_; }
     Memory& memory() { return mem_; }
+    const Memory& memory() const { return mem_; }
 
     /// Enables an instruction trace (disassembly + state) to the given
     /// callback; pass nullptr to disable.

@@ -12,6 +12,17 @@ ErrorDetectionModel::ErrorDetectionModel(std::unique_ptr<FaultModel> inner,
         throw std::invalid_argument("ErrorDetectionModel: coverage out of range");
 }
 
+ErrorDetectionModel::ErrorDetectionModel(const ErrorDetectionModel& other)
+    : FaultModel(other),
+      inner_(other.inner_->clone()),
+      config_(other.config_),
+      detected_(other.detected_),
+      escaped_(other.escaped_) {}
+
+std::unique_ptr<FaultModel> ErrorDetectionModel::clone() const {
+    return std::unique_ptr<FaultModel>(new ErrorDetectionModel(*this));
+}
+
 void ErrorDetectionModel::operating_point_changed() {
     inner_->set_operating_point(point_);
 }

@@ -28,6 +28,10 @@ public:
 
     std::string name() const override { return "razor(" + inner_->name() + ")"; }
     ModelFeatures features() const override { return inner_->features(); }
+    /// Deep copy: clones the inner fault model and carries over the
+    /// detection/escape counters, so a clone continues exactly where the
+    /// original stands.
+    std::unique_ptr<FaultModel> clone() const override;
 
     const FaultModel& inner() const { return *inner_; }
     std::uint64_t detected() const { return detected_; }
@@ -53,6 +57,8 @@ protected:
     void operating_point_changed() override;
 
 private:
+    ErrorDetectionModel(const ErrorDetectionModel& other);
+
     std::unique_ptr<FaultModel> inner_;
     RazorConfig config_;
     std::uint64_t detected_ = 0;

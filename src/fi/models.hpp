@@ -78,6 +78,17 @@ public:
     virtual std::string name() const = 0;
     virtual ModelFeatures features() const = 0;
 
+    /// Deep copy with identical state (operating point, policy, RNG stream,
+    /// injection statistics): after cloning, both models produce the same
+    /// corrupt() stream for the same inputs. This is what gives every
+    /// worker of the parallel Monte-Carlo engine (src/mc/parallel.hpp) its
+    /// own model. Decorating models clone their inner model too. The large
+    /// characterization stores held by const pointer — model C's CDF store,
+    /// the Vdd-delay fit — are shared between clones; model B's small
+    /// STA-derived window tables are value members and are copied (~10 KB
+    /// per clone).
+    virtual std::unique_ptr<FaultModel> clone() const = 0;
+
     /// Sets frequency/voltage/noise; resets per-point derived state.
     void set_operating_point(const OperatingPoint& point);
     const OperatingPoint& operating_point() const { return point_; }
@@ -98,6 +109,11 @@ public:
     std::uint32_t on_ex_result(const ExEvent& ev, std::uint32_t correct) final;
 
 protected:
+    FaultModel() = default;
+    // Copyable by derived clone() implementations only.
+    FaultModel(const FaultModel&) = default;
+    FaultModel& operator=(const FaultModel&) = default;
+
     /// Model-specific corruption: returns the value to latch.
     virtual std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) = 0;
     /// Called when the operating point changes (derived-state refresh).
@@ -123,6 +139,9 @@ public:
 
     std::string name() const override { return "A"; }
     ModelFeatures features() const override;
+    std::unique_ptr<FaultModel> clone() const override {
+        return std::make_unique<ModelA>(*this);
+    }
     double flip_probability() const { return p_; }
 
 protected:
@@ -143,6 +162,9 @@ public:
 
     std::string name() const override;
     ModelFeatures features() const override;
+    std::unique_ptr<FaultModel> clone() const override {
+        return std::make_unique<ModelB>(*this);
+    }
 
     /// Lowest frequency at which this model can inject at the current
     /// operating point (with worst-case clipped noise), MHz.
@@ -170,6 +192,9 @@ public:
 
     std::string name() const override { return "C"; }
     ModelFeatures features() const override;
+    std::unique_ptr<FaultModel> clone() const override {
+        return std::make_unique<ModelC>(*this);  // shares the const CDF store
+    }
 
     const TimingErrorCdfs& cdfs() const { return *cdfs_; }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mc/parallel.hpp"
+
 namespace sfi {
 
 MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model,
@@ -27,39 +29,60 @@ MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model
         std::ceil(config_.watchdog_factor * static_cast<double>(golden_.cycles)));
 }
 
-TrialOutcome MonteCarloRunner::run_trial(const OperatingPoint& point,
-                                         std::uint64_t trial) {
-    model_->set_operating_point(point);
-    model_->reset_stats();
-    // Independent, reproducible stream per trial.
+TrialOutcome MonteCarloRunner::run_trial_with(Cpu& cpu, FaultModel& model,
+                                              const OperatingPoint& point,
+                                              std::uint64_t trial) const {
+    model.set_operating_point(point);
+    model.reset_stats();
+    // Independent, reproducible stream per trial: (seed, trial) fully
+    // determines the model's draws, so equal indices reproduce identical
+    // trials on any context, in any order, on any thread.
     Rng seeder(config_.seed);
-    model_->reseed(seeder.fork(trial)());
+    model.reseed(seeder.fork(trial)());
 
-    cpu_.set_fault_hook(model_);
-    cpu_.reset(benchmark_->program());
-    const RunResult run = cpu_.run(watchdog_cycles_);
-    cpu_.set_fault_hook(nullptr);
+    cpu.set_fault_hook(&model);
+    cpu.reset(benchmark_->program());  // zeroes memory: no cross-trial state
+    const RunResult run = cpu.run(watchdog_cycles_);
+    cpu.set_fault_hook(nullptr);
 
     TrialOutcome outcome;
     outcome.stop = run.stop;
     outcome.finished = run.finished();
-    outcome.fi = model_->stats();
+    outcome.fi = model.stats();
     outcome.cycles = run.cycles;
     outcome.kernel_cycles = run.kernel_cycles;
     if (outcome.finished) {
-        const auto output = benchmark_->read_output(memory_);
+        const auto output = benchmark_->read_output(cpu.memory());
         outcome.correct = output == golden_output_;
         outcome.output_error = benchmark_->output_error(output);
     }
     return outcome;
 }
 
+TrialOutcome MonteCarloRunner::run_trial(const OperatingPoint& point,
+                                         std::uint64_t trial) {
+    return run_trial_with(cpu_, *model_, point, trial);
+}
+
 PointSummary MonteCarloRunner::run_point(const OperatingPoint& point) {
+    // Worker-count resolution/clamping is owned by run_trials_parallel;
+    // here we only decide serial vs. parallel.
+    if (config_.trials > 1 && resolve_thread_count(config_.threads) > 1)
+        return summarize_trials(
+            point, run_trials_parallel(*this, point, config_.threads));
+    std::vector<TrialOutcome> outcomes;
+    outcomes.reserve(config_.trials);
+    for (std::size_t trial = 0; trial < config_.trials; ++trial)
+        outcomes.push_back(run_trial(point, trial));
+    return summarize_trials(point, outcomes);
+}
+
+PointSummary summarize_trials(const OperatingPoint& point,
+                              const std::vector<TrialOutcome>& outcomes) {
     PointSummary summary;
     summary.point = point;
-    summary.trials = config_.trials;
-    for (std::size_t trial = 0; trial < config_.trials; ++trial) {
-        const TrialOutcome outcome = run_trial(point, trial);
+    summary.trials = outcomes.size();
+    for (const TrialOutcome& outcome : outcomes) {
         if (outcome.finished) {
             ++summary.finished_count;
             if (outcome.correct) ++summary.correct_count;

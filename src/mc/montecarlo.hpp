@@ -19,12 +19,29 @@
 namespace sfi {
 
 struct McConfig {
-    std::size_t trials = 100;  ///< independent runs per operating point (paper: >= 100)
-    std::uint64_t seed = 1;    ///< base of the per-trial RNG streams
+    /// Independent runs per operating point (paper: >= 100).
+    std::size_t trials = 100;
+    /// Base of the per-trial RNG streams: trial `i` always draws from the
+    /// stream derived from (seed, i), never from execution order.
+    std::uint64_t seed = 1;
     /// Watchdog limit as a multiple of the fault-free kernel run time;
     /// runs exceeding it count as "did not finish" (infinite-loop guard,
     /// paper §2.2).
     double watchdog_factor = 8.0;
+    /// Worker threads for run_point (and therefore the sweep drivers):
+    /// 1 = serial on the caller's model, 0 = one worker per hardware
+    /// thread, N = exactly N workers. Every setting produces a
+    /// bit-identical PointSummary — trials share no mutable state
+    /// (src/mc/parallel.hpp gives each worker its own Cpu/Memory/cloned
+    /// model) and outcomes are aggregated in trial-index order. Only the
+    /// summary is part of that contract: when run_point actually fans out
+    /// (threads != 1 and trials > 1 — single-trial points fall back to
+    /// the serial loop), the caller's model object is not driven (clones
+    /// are), so its incidental post-run state — stats() of the last
+    /// trial, Razor detected()/escaped() accumulation — stays untouched.
+    /// Workflows that read per-trial model state (bench_ext_razor) call
+    /// run_trial directly.
+    std::size_t threads = 1;
 };
 
 /// Result of one fault-injected run of a benchmark.
@@ -79,13 +96,27 @@ public:
     }
 
     /// One independent trial at `point` (trial index selects the RNG
-    /// stream; equal indices reproduce identical trials).
+    /// stream; equal indices reproduce identical trials regardless of what
+    /// ran before — Cpu::reset restores a pristine memory image).
     TrialOutcome run_trial(const OperatingPoint& point, std::uint64_t trial);
 
-    /// config.trials independent trials, aggregated.
+    /// The same trial computation on caller-provided execution state; this
+    /// is what the parallel engine (src/mc/parallel.hpp) calls with its
+    /// per-thread contexts. Reads only immutable runner state, so it is
+    /// safe to call concurrently with distinct `cpu`/`model` pairs.
+    TrialOutcome run_trial_with(Cpu& cpu, FaultModel& model,
+                                const OperatingPoint& point,
+                                std::uint64_t trial) const;
+
+    /// config.trials independent trials, aggregated in trial-index order.
+    /// Fans out over McConfig::threads workers when threads != 1; the
+    /// result is bit-identical to the serial loop.
     PointSummary run_point(const OperatingPoint& point);
 
     const McConfig& config() const { return config_; }
+    const Benchmark& benchmark() const { return *benchmark_; }
+    /// Prototype fault model (cloned once per parallel worker).
+    const FaultModel& model() const { return *model_; }
 
 private:
     const Benchmark* benchmark_;
@@ -97,5 +128,12 @@ private:
     std::vector<std::uint32_t> golden_output_;
     std::uint64_t watchdog_cycles_ = 0;
 };
+
+/// Aggregates `outcomes` (indexed by trial) exactly like the historical
+/// serial loop: iterating in trial-index order makes the floating-point
+/// accumulation independent of the order in which trials finished, which
+/// is what makes parallel and serial run_point bit-identical.
+PointSummary summarize_trials(const OperatingPoint& point,
+                              const std::vector<TrialOutcome>& outcomes);
 
 }  // namespace sfi

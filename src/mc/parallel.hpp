@@ -1,0 +1,68 @@
+// Parallel Monte-Carlo trial engine: fans the trials of one operating
+// point out over a chunked, self-scheduling worker pool while keeping the
+// aggregate bit-identical to the serial loop (ROADMAP: scale "as fast as
+// the hardware allows" without changing the statistical output).
+//
+// Determinism contract (verified by tests/mc/test_parallel.cpp):
+//  * every trial derives its RNG stream from (McConfig::seed, trial index)
+//    alone — never from thread identity or scheduling order;
+//  * every worker owns a full TrialContext (memory image, ISS, cloned
+//    fault model), so concurrent trials share no mutable state; the only
+//    cross-thread data are the const characterization tables (STA, CDF
+//    store, Vdd fit) behind the model clones;
+//  * outcomes are stored by trial index and aggregated in index order
+//    (summarize_trials), so the floating-point accumulation rounds exactly
+//    as in the serial loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mc/montecarlo.hpp"
+
+namespace sfi {
+
+/// Resolves a requested worker count: 0 = one per hardware thread
+/// (at least 1), anything else is taken literally.
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Per-worker execution state: own memory image, own ISS bound to it, and
+/// an own clone of the prototype fault model. Contexts are built on the
+/// dispatching thread (cloning is not concurrent) and then handed to
+/// exactly one worker each.
+struct TrialContext {
+    TrialContext(const Benchmark& benchmark, const FaultModel& prototype);
+
+    Memory memory;
+    std::unique_ptr<FaultModel> model;
+    Cpu cpu;  // bound to `memory`; declared after it (init order)
+};
+
+/// Chunked self-scheduling parallel-for over trial indices [0, trials):
+/// `threads` workers (the calling thread is one of them) atomically grab
+/// `chunk` consecutive indices at a time from a shared counter — dynamic
+/// load balancing without per-trial locking, which matters because trial
+/// cost varies by ~an order of magnitude (watchdog runs are
+/// `watchdog_factor`× longer than clean runs). Calls fn(worker, trial)
+/// at most once per index (exactly once when no worker throws); each
+/// worker index is used by one thread only. The first exception thrown by
+/// any worker is rethrown after all workers stopped; a failure flag makes
+/// the surviving workers quit at their next chunk boundary instead of
+/// finishing work whose results will be discarded.
+void for_each_trial(std::size_t trials, std::size_t threads,
+                    std::size_t chunk,
+                    const std::function<void(std::size_t worker,
+                                             std::uint64_t trial)>& fn);
+
+/// Runs runner.config().trials independent trials at `point` across
+/// `threads` worker contexts and returns the outcomes indexed by trial —
+/// ready for summarize_trials(), which makes the aggregate bit-identical
+/// to the serial path. The runner's own model/CPU are left untouched.
+std::vector<TrialOutcome> run_trials_parallel(const MonteCarloRunner& runner,
+                                              const OperatingPoint& point,
+                                              std::size_t threads);
+
+}  // namespace sfi

@@ -17,8 +17,14 @@ std::vector<double> linspace(double lo, double hi, std::size_t n) {
 
 std::vector<double> arange(double lo, double hi, double step) {
     if (step <= 0.0) throw std::invalid_argument("arange: step must be positive");
-    std::vector<double> out;
-    for (double v = lo; v <= hi + 1e-9; v += step) out.push_back(v);
+    if (hi < lo - 1e-9) return {};
+    // Index form instead of `v += step`: accumulation drifts by ~n·eps and
+    // drops (or duplicates) the inclusive endpoint on long ranges.
+    const auto count =
+        static_cast<std::size_t>(std::floor((hi - lo + 1e-9) / step)) + 1;
+    std::vector<double> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = lo + static_cast<double>(i) * step;
     return out;
 }
 
@@ -53,9 +59,15 @@ std::vector<PointSummary> voltage_sweep(MonteCarloRunner& runner,
 }
 
 std::optional<double> find_poff_mhz(const std::vector<PointSummary>& sweep) {
+    // Scan for the minimum failing frequency instead of the first failing
+    // point: the historical first-hit scan silently returned the wrong
+    // frequency when the caller's sweep was not in ascending order.
+    std::optional<double> poff;
     for (const PointSummary& point : sweep)
-        if (point.correct_count != point.trials) return point.point.freq_mhz;
-    return std::nullopt;
+        if (point.correct_count != point.trials &&
+            (!poff || point.point.freq_mhz < *poff))
+            poff = point.point.freq_mhz;
+    return poff;
 }
 
 double poff_gain_percent(double poff_mhz, double sta_mhz) {

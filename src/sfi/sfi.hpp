@@ -27,6 +27,7 @@
 #include "isa/encoding.hpp"
 #include "isa/isa.hpp"
 #include "mc/montecarlo.hpp"
+#include "mc/parallel.hpp"
 #include "mc/report.hpp"
 #include "mc/sweep.hpp"
 #include "netlist/netlist.hpp"

@@ -21,11 +21,14 @@ Cli::Cli(int argc, const char* const* argv) {
         }
         // `--name value` when the next token is not itself an option,
         // otherwise a boolean flag.
+        // std::string temporaries (not const char*) sidestep a GCC 12
+        // -Wrestrict false positive (PR105329) in the inlined
+        // string::operator=(const char*) path.
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-            options_[body] = argv[i + 1];
+            options_.insert_or_assign(body, std::string(argv[i + 1]));
             ++i;
         } else {
-            options_[body] = "1";
+            options_.insert_or_assign(body, std::string("1"));
         }
     }
 }
@@ -47,6 +50,12 @@ double Cli::get_double(const std::string& name, double def) const {
     const auto it = options_.find(name);
     if (it == options_.end()) return def;
     return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::size_t Cli::get_threads(std::size_t def) const {
+    const std::int64_t value =
+        get_int("threads", static_cast<std::int64_t>(def));
+    return value < 0 ? 0 : static_cast<std::size_t>(value);
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

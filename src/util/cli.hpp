@@ -2,6 +2,7 @@
 // Supports `--name value`, `--name=value` and boolean `--flag`.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -21,6 +22,12 @@ public:
     std::int64_t get_int(const std::string& name, std::int64_t def) const;
     double get_double(const std::string& name, double def) const;
     bool get_bool(const std::string& name, bool def) const;
+
+    /// The shared `--threads` parser for McConfig::threads: non-negative
+    /// worker count, where 0 means one worker per hardware thread.
+    /// Negative values would wrap std::size_t to a huge count, so they are
+    /// clamped to 0 (= auto) in this one place.
+    std::size_t get_threads(std::size_t def = 0) const;
 
     /// Positional (non-option) arguments, in order.
     const std::vector<std::string>& positional() const { return positional_; }

@@ -32,6 +32,21 @@ TEST(Linspace, ZeroThrows) {
     EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Linspace, DescendingWhenHiBelowLo) {
+    const auto v = linspace(3.0, 1.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 2.5);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+}
+
+TEST(Linspace, TwoPointsAreTheEndpoints) {
+    const auto v = linspace(-1.0, 1.0, 2);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], -1.0);
+    EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
 TEST(Arange, InclusiveUpperBound) {
     const auto v = arange(650.0, 652.0, 0.5);
     ASSERT_EQ(v.size(), 5u);
@@ -41,6 +56,35 @@ TEST(Arange, InclusiveUpperBound) {
 TEST(Arange, BadStepThrows) {
     EXPECT_THROW(arange(0.0, 1.0, 0.0), std::invalid_argument);
     EXPECT_THROW(arange(0.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Arange, EmptyWhenHiBelowLo) {
+    EXPECT_TRUE(arange(1.0, 0.0, 0.5).empty());
+    EXPECT_TRUE(arange(700.0, 650.0, 1.0).empty());
+}
+
+TEST(Arange, SinglePointWhenHiEqualsLo) {
+    const auto v = arange(5.0, 5.0, 1.0);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_DOUBLE_EQ(v[0], 5.0);
+}
+
+TEST(Arange, NonRepresentableStepKeepsInclusiveEndpoint) {
+    // 0.1 is not exact in binary; 0.1 * 3 lands just above 0.3 but must
+    // still count as "hi inclusive".
+    const auto v = arange(0.0, 0.3, 0.1);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_NEAR(v.back(), 0.3, 1e-12);
+}
+
+TEST(Arange, LongRangeDoesNotDriftPastTheEndpoint) {
+    // Regression: the historical `v += step` loop accumulated ~n·eps of
+    // error, which on ranges this long exceeded the 1e-9 inclusion
+    // tolerance and dropped the final value.
+    const auto v = arange(0.0, 1000.0, 0.1);
+    ASSERT_EQ(v.size(), 10001u);
+    EXPECT_NEAR(v.back(), 1000.0, 1e-6);
+    EXPECT_NEAR(v[5000], 500.0, 1e-9);
 }
 
 TEST(FrequencySweep, CoversRequestedPointsInOrder) {
@@ -89,6 +133,37 @@ TEST(FindPoff, FirstImperfectPoint) {
     sweep[2].correct_count = 99;
     EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 720.0);
     sweep[1].correct_count = 0;
+    EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 710.0);
+}
+
+TEST(FindPoff, UnsortedSweepReturnsLowestFailingFrequency) {
+    // Regression: the first-hit scan depended on the caller passing an
+    // ascending sweep; out-of-order input silently returned whichever
+    // failing point came first.
+    std::vector<PointSummary> sweep(4);
+    const double freqs[] = {740.0, 700.0, 720.0, 710.0};
+    for (int i = 0; i < 4; ++i) {
+        sweep[i].point.freq_mhz = freqs[i];
+        sweep[i].trials = 50;
+        sweep[i].correct_count = 50;
+    }
+    sweep[0].correct_count = 0;   // 740 fails
+    sweep[2].correct_count = 49;  // 720 fails
+    EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 720.0);
+    sweep[1].correct_count = 10;  // 700 fails too
+    EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 700.0);
+}
+
+TEST(FindPoff, NonMonotoneSweepStillReportsTheLowestFailure) {
+    // Monte-Carlo noise can make a mid-sweep point fail while a higher
+    // frequency passes; PoFF is defined as the lowest failing frequency.
+    std::vector<PointSummary> sweep(3);
+    for (int i = 0; i < 3; ++i) {
+        sweep[i].point.freq_mhz = 700.0 + i * 10.0;
+        sweep[i].trials = 20;
+        sweep[i].correct_count = 20;
+    }
+    sweep[1].correct_count = 19;
     EXPECT_DOUBLE_EQ(find_poff_mhz(sweep).value(), 710.0);
 }
 

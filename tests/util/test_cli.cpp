@@ -60,5 +60,18 @@ TEST(Cli, FlagFollowedByFlagIsBoolean) {
     EXPECT_EQ(cli.get_int("trials", 0), 7);
 }
 
+TEST(Cli, GetThreadsParsesWorkerCount) {
+    EXPECT_EQ(make({"prog", "--threads", "4"}).get_threads(), 4u);
+    EXPECT_EQ(make({"prog"}).get_threads(), 0u);  // default: auto
+    EXPECT_EQ(make({"prog"}).get_threads(2), 2u);
+}
+
+TEST(Cli, GetThreadsClampsNegativeToAuto) {
+    // A negative count must not wrap to a huge std::size_t and spawn one
+    // context per trial.
+    EXPECT_EQ(make({"prog", "--threads=-1"}).get_threads(), 0u);
+    EXPECT_EQ(make({"prog", "--threads=-100"}).get_threads(3), 0u);
+}
+
 }  // namespace
 }  // namespace sfi
