@@ -6,37 +6,41 @@
 // dynamic slack (random operands rarely excite the full chain), inflating
 // the apparent PoFF gain far beyond the paper's. This bench quantifies
 // the difference on the DTA statistics and on the median benchmark.
+//
+// The per-topology median sweeps are store-backed panels of the
+// ablation_adder campaign (one core override per adder kind); the
+// characterization statistics are printed per panel from its core.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/60);
 
-    for (const AdderKind kind : {AdderKind::KoggeStone, AdderKind::RippleCarry}) {
-        CoreModelConfig config = ctx.core_config;
-        config.alu.adder = kind;
-        config.cdf_cache_path.clear();  // distinct configs; skip the cache
-        config.dta.cycles = std::min<std::size_t>(config.dta.cycles, 4096);
-        const CharacterizedCore core(config);
-        const char* name =
-            kind == AdderKind::KoggeStone ? "kogge-stone" : "ripple-carry";
+    campaign::CampaignSpec spec =
+        campaign::figures::ablation_adder(ctx.core_config, ctx.trials, ctx.seed);
 
-        std::cout << "=== adder = " << name << " ===\n";
-        std::cout << "  adder cells: ";
+    campaign::RunOptions options = ctx.campaign_options();
+    options.on_panel_start = [](const campaign::PanelSpec& panel,
+                                const CharacterizedCore& core) {
+        const bool kogge =
+            core.config().alu.adder == AdderKind::KoggeStone;
+        std::cout << "=== adder = "
+                  << (kogge ? "kogge-stone" : "ripple-carry") << " ===\n";
         std::size_t adder_cells = 0;
         for (const AluUnit unit : core.alu().unit_of)
             if (unit == AluUnit::Adder) ++adder_cells;
-        std::cout << adder_cells
+        std::cout << "  adder cells: " << adder_cells
                   << ", ALU depth: " << core.alu().netlist.logic_depth() << "\n";
 
-        const double fsta = core.sta_fmax_mhz(0.7);
+        const double fsta = core.sta_fmax_mhz(panel.base.vdd);
         std::cout << "  f_STA(0.7V) = " << fmt_fixed(fsta, 1) << " MHz\n";
         for (const ExClass cls : {ExClass::Add, ExClass::Sub, ExClass::Cmp}) {
-            const double dyn = core.dynamic_fmax_mhz(cls, 0.7);
+            const double dyn = core.dynamic_fmax_mhz(cls, panel.base.vdd);
             std::cout << "  " << ex_class_name(cls)
                       << ": dynamic fmax = " << fmt_fixed(dyn, 1)
                       << " MHz (dynamic slack "
-                      << fmt_fixed(100.0 * (dyn / fsta - 1.0), 1) << "% vs STA)\n";
+                      << fmt_fixed(100.0 * (dyn / fsta - 1.0), 1)
+                      << "% vs STA)\n";
         }
 
         // Per-bit spread of the add CDF (Fig. 2 structure).
@@ -50,24 +54,10 @@ int main(int argc, char** argv) {
                   << " bit31="
                   << fmt_fixed(cdfs.endpoint_max_window_ps(ExClass::Add, 31), 1)
                   << "\n";
-
-        // Median PoFF under each topology.
-        const auto bench = make_benchmark(BenchmarkId::Median);
-        auto model = core.make_model_c();
-        MonteCarloRunner runner(*bench, *model, ctx.mc_config());
-        OperatingPoint base;
-        base.vdd = 0.7;
-        const auto sweep = frequency_sweep(
-            runner, base, bench::span(fsta, fsta * 1.6, 14));
-        if (const auto poff = find_poff_mhz(sweep))
-            std::cout << "  median PoFF (sigma=0): " << fmt_fixed(*poff, 1)
-                      << " MHz (+"
-                      << fmt_fixed(poff_gain_percent(*poff, fsta), 1)
-                      << "% vs STA; paper: +11.4%)\n";
-        else
-            std::cout << "  median PoFF beyond +60% of STA\n";
-        std::cout << "\n";
-    }
+        std::cout << "  (paper median PoFF gain at sigma=0: +11.4%)\n";
+    };
+    campaign::CampaignRunner runner(std::move(spec), std::move(options));
+    runner.run();
     ctx.footer();
     return 0;
 }

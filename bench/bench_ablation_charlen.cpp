@@ -6,6 +6,8 @@
 
 int main(int argc, char** argv) {
     using namespace sfi;
+    // Pure characterization study (no Monte-Carlo points), so it stays
+    // off the campaign engine / point store.
     bench::Context ctx(argc, argv, /*default_trials=*/1);
 
     std::cout << "DTA kernel length vs dynamic limits (Vdd = 0.7 V)\n\n";

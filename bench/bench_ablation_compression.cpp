@@ -7,22 +7,28 @@
 // compression = 0.8 : near-full timing wall — every instruction fails at
 //                     its block constraint, transition regions collapse
 //                     (model C degenerates toward model B behaviour).
+//
+// One store-backed campaign panel (with a core override) per compression
+// level; the driver prints the characterization spread before each panel
+// and the transition width after the run.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/60);
 
-    for (const double kappa : {0.0, 0.35, 0.8}) {
-        CoreModelConfig config = ctx.core_config;
-        config.calibration.compression = kappa;
-        config.cdf_cache_path.clear();
-        config.dta.cycles = std::min<std::size_t>(config.dta.cycles, 4096);
-        const CharacterizedCore core(config);
-        const double fsta = core.sta_fmax_mhz(0.7);
+    campaign::CampaignSpec spec = campaign::figures::ablation_compression(
+        ctx.core_config, ctx.trials, ctx.seed);
+    for (campaign::PanelSpec& panel : spec.panels) panel.title.clear();
 
-        std::cout << "=== compression = " << fmt_fixed(kappa, 2)
-                  << " (f_STA " << fmt_fixed(fsta, 1) << " MHz) ===\n";
+    campaign::RunOptions options = ctx.campaign_options();
+    options.on_panel_start = [](const campaign::PanelSpec& panel,
+                                const CharacterizedCore& core) {
+        const double vdd = panel.base.vdd;
+        std::cout << "=== compression = "
+                  << fmt_fixed(core.config().calibration.compression, 2)
+                  << " (f_STA " << fmt_fixed(core.sta_fmax_mhz(vdd), 1)
+                  << " MHz) ===\n";
         const auto& cdfs = *core.cdfs();
         std::cout << "  mul endpoint max windows [ps @ Vref]: bit3="
                   << fmt_fixed(cdfs.endpoint_max_window_ps(ExClass::Mul, 3), 0)
@@ -34,39 +40,30 @@ int main(int argc, char** argv) {
                   << fmt_fixed(cdfs.endpoint_max_window_ps(ExClass::Mul, 31), 0)
                   << "\n";
         std::cout << "  dynamic fmax [MHz]: mul "
-                  << fmt_fixed(core.dynamic_fmax_mhz(ExClass::Mul, 0.7), 0)
+                  << fmt_fixed(core.dynamic_fmax_mhz(ExClass::Mul, vdd), 0)
                   << ", add "
-                  << fmt_fixed(core.dynamic_fmax_mhz(ExClass::Add, 0.7), 0)
+                  << fmt_fixed(core.dynamic_fmax_mhz(ExClass::Add, vdd), 0)
                   << ", cmp "
-                  << fmt_fixed(core.dynamic_fmax_mhz(ExClass::Cmp, 0.7), 0)
-                  << "\n";
+                  << fmt_fixed(core.dynamic_fmax_mhz(ExClass::Cmp, vdd), 0)
+                  << "  (paper median PoFF gain at sigma=10mV: +3.3%)\n";
+    };
+    campaign::CampaignRunner runner(std::move(spec), std::move(options));
+    const campaign::CampaignResult result = runner.run();
 
-        const auto bench = make_benchmark(BenchmarkId::Median);
-        auto model = core.make_model_c();
-        MonteCarloRunner runner(*bench, *model, ctx.mc_config());
-        OperatingPoint base;
-        base.vdd = 0.7;
-        base.noise.sigma_mv = 10.0;
-        const auto sweep = frequency_sweep(
-            runner, base, bench::span(fsta * 0.98, fsta * 1.35, 10));
-        if (const auto poff = find_poff_mhz(sweep))
-            std::cout << "  median PoFF (sigma=10mV): " << fmt_fixed(*poff, 1)
-                      << " MHz (" << fmt_fixed(poff_gain_percent(*poff, fsta), 1)
-                      << "% vs STA; paper: +3.3%)\n";
-        else
-            std::cout << "  median PoFF beyond swept range\n";
-        // Transition width: span between last fully-correct and first
-        // fully-dead point.
+    std::cout << "transition widths (last fully-correct to first fully-dead "
+                 "point):\n";
+    for (const campaign::PanelResult& panel : result.panels) {
         double f_last_ok = 0.0, f_first_dead = 0.0;
-        for (const PointSummary& p : sweep) {
+        for (const PointSummary& p : panel.sweep) {
             if (p.correct_count == p.trials) f_last_ok = p.point.freq_mhz;
             if (f_first_dead == 0.0 && p.finished_count == 0)
                 f_first_dead = p.point.freq_mhz;
         }
+        std::cout << "  " << panel.name << ": ";
         if (f_last_ok > 0.0 && f_first_dead > 0.0)
-            std::cout << "  transition width: "
-                      << fmt_fixed(f_first_dead - f_last_ok, 1) << " MHz\n";
-        std::cout << "\n";
+            std::cout << fmt_fixed(f_first_dead - f_last_ok, 1) << " MHz\n";
+        else
+            std::cout << "outside swept range\n";
     }
     ctx.footer();
     return 0;

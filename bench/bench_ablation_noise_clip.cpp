@@ -3,45 +3,50 @@
 // spikes due to the tails of the distribution". This bench shows what the
 // clip level does to the model B+ first-fault frequency and to model C
 // application behaviour below the nominal threshold.
+//
+// The model C points (one per clip level, at the STA limit) are
+// store-backed campaign panels; the B+ thresholds are deterministic and
+// computed directly from the core.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/80);
-    const CharacterizedCore core = ctx.make_core();
-    const auto bench = make_benchmark(BenchmarkId::Median);
-    const double fsta = core.sta_fmax_mhz(0.7);
 
+    campaign::CampaignSpec spec = campaign::figures::ablation_noise_clip(
+        ctx.core_config, ctx.trials, ctx.seed);
+    for (campaign::PanelSpec& panel : spec.panels)
+        panel.print_table = false;  // combined tables below instead
+
+    campaign::RunOptions options = ctx.campaign_options();
+    campaign::CampaignRunner runner(std::move(spec), std::move(options));
+
+    const CharacterizedCore& core = runner.core();
+    const double fsta = core.sta_fmax_mhz(0.7);
     std::cout << "model B+ first-fault frequency vs clip level "
                  "(Vdd = 0.7 V, sigma = 10 mV)\n\n";
     TextTable threshold_table({"clip [sigma]", "first fault [MHz]",
                                "shift vs STA"});
     for (const double clip : {1.0, 2.0, 3.0, 4.0}) {
-        auto model = core.make_model_b();
         OperatingPoint point;
         point.vdd = 0.7;
         point.noise.sigma_mv = 10.0;
         point.noise.clip_sigmas = clip;
-        model->set_operating_point(point);
-        const double f0 = model->first_fault_frequency_mhz();
+        const double f0 =
+            campaign::first_fault_mhz(core, campaign::ModelSpec::b(), point);
         threshold_table.add_row({fmt_fixed(clip, 1), fmt_fixed(f0, 1),
                                  fmt_fixed(100.0 * (f0 / fsta - 1.0), 1) + "%"});
     }
     threshold_table.print(std::cout);
 
+    const campaign::CampaignResult result = runner.run();
     std::cout << "\nmodel C on median at f = STA limit (" << fmt_fixed(fsta, 1)
               << " MHz), sigma = 25 mV\n\n";
     TextTable app_table({"clip [sigma]", "finished", "correct", "FI/kCycle"});
-    for (const double clip : {1.0, 2.0, 3.0, 4.0}) {
-        auto model = core.make_model_c();
-        MonteCarloRunner runner(*bench, *model, ctx.mc_config());
-        OperatingPoint point;
-        point.freq_mhz = fsta;
-        point.vdd = 0.7;
-        point.noise.sigma_mv = 25.0;
-        point.noise.clip_sigmas = clip;
-        const PointSummary s = runner.run_point(point);
-        app_table.add_row({fmt_fixed(clip, 1), fmt_pct(s.finished_frac()),
+    for (const campaign::PanelResult& panel : result.panels) {
+        const PointSummary& s = panel.sweep.at(0);
+        app_table.add_row({fmt_fixed(s.point.noise.clip_sigmas, 1),
+                           fmt_pct(s.finished_frac()),
                            fmt_pct(s.correct_frac()), fmt_sci(s.fi_rate, 3)});
     }
     app_table.print(std::cout);

@@ -5,36 +5,39 @@
 // the correct one (~50 % of violations), so its effective error rate and
 // application impact sit visibly below bit-flip at the same operating
 // point.
+//
+// One store-backed campaign panel per (benchmark, policy); the driver
+// interleaves the two policies per frequency in the historical table
+// shape.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/80);
-    const CharacterizedCore core = ctx.make_core();
 
-    OperatingPoint base;
-    base.vdd = 0.7;
-    base.noise.sigma_mv = 10.0;
-    const double fsta = core.sta_fmax_mhz(0.7);
+    campaign::CampaignSpec spec = campaign::figures::ablation_policy(
+        ctx.core_config, ctx.trials, ctx.seed);
+    for (campaign::PanelSpec& panel : spec.panels)
+        panel.print_table = false;  // interleaved tables below instead
+
+    campaign::RunOptions options = ctx.campaign_options();
+    campaign::CampaignRunner runner(std::move(spec), std::move(options));
+    const campaign::CampaignResult result = runner.run();
 
     for (const BenchmarkId id : {BenchmarkId::KMeans, BenchmarkId::Median}) {
         const auto bench = make_benchmark(id);
         std::cout << "=== " << bench->name() << " ===\n";
         TextTable table({"f [MHz]", "policy", "finished", "correct",
                          "FI/kCycle", bench->error_unit()});
-        for (const double f :
-             {fsta * 1.00, fsta * 1.05, fsta * 1.10, fsta * 1.15}) {
-            for (const FaultPolicy policy :
-                 {FaultPolicy::BitFlip, FaultPolicy::StaleCapture}) {
-                auto model = core.make_model_c();
-                model->set_policy(policy);
-                MonteCarloRunner runner(*bench, *model, ctx.mc_config());
-                OperatingPoint point = base;
-                point.freq_mhz = f;
-                const PointSummary s = runner.run_point(point);
-                table.add_row({fmt_fixed(f, 1),
-                               policy == FaultPolicy::BitFlip ? "bit-flip"
-                                                              : "stale-capture",
+        const campaign::PanelResult& flips = result.panel(
+            std::string("ablation_policy_") + benchmark_name(id) + "_bitflip");
+        const campaign::PanelResult& stale = result.panel(
+            std::string("ablation_policy_") + benchmark_name(id) + "_stale");
+        for (std::size_t i = 0; i < flips.sweep.size(); ++i) {
+            for (const auto* panel : {&flips, &stale}) {
+                const PointSummary& s = panel->sweep.at(i);
+                table.add_row({fmt_fixed(s.point.freq_mhz, 1),
+                               panel == &flips ? "bit-flip" : "stale-capture",
                                fmt_pct(s.finished_frac()),
                                fmt_pct(s.correct_frac()), fmt_sci(s.fi_rate, 3),
                                fmt_sci(s.mean_error, 3)});

@@ -11,7 +11,9 @@
 
 int main(int argc, char** argv) {
     using namespace sfi;
-    bench::Context ctx(argc, argv, /*default_trials=*/1);
+    // Pure characterization study (no Monte-Carlo points), so it stays
+    // off the campaign engine; --alpha-spread is its declared extra flag.
+    bench::Context ctx(argc, argv, /*default_trials=*/1, {"alpha-spread"});
 
     const double spread = ctx.cli.get_double("alpha-spread", 0.06);
     CoreModelConfig config = ctx.core_config;

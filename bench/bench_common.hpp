@@ -7,44 +7,75 @@
 //   --dta-cycles N   DTA characterization kernel length (default 8192)
 //   --seed S         Monte-Carlo base seed
 //   --cache PATH     CDF cache file (default sfi_cdf_cache.bin in cwd)
+//   --store PATH     campaign point store (default sfi_point_store.bin;
+//                    completed Monte-Carlo points are persisted there and
+//                    re-runs with the same parameters are served from it)
+//   --no-store       disable the point store (recompute everything)
 //   --csv-dir DIR    directory for CSV dumps (default bench_csv)
 //   --no-csv         disable CSV output
+//
+// Flags outside this set (plus a bench's declared extras) produce a
+// warning on stderr but are still parsed — typos like `--trails` no
+// longer pass silently, while binaries that forward foreign flags keep
+// working. Negative --trials/--seed/--dta-cycles are rejected with a
+// clear message instead of wrapping to huge unsigned values (the same
+// rationale as Cli::get_threads's clamping).
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sfi/sfi.hpp"
 
 namespace sfi::bench {
 
+inline std::vector<std::string> known_flags(std::vector<std::string> extra) {
+    std::vector<std::string> known = {"trials", "threads", "dta-cycles",
+                                      "seed",   "cache",   "store",
+                                      "no-store", "csv-dir", "no-csv"};
+    known.insert(known.end(), std::make_move_iterator(extra.begin()),
+                 std::make_move_iterator(extra.end()));
+    return known;
+}
+
 struct Context {
     Cli cli;
     CoreModelConfig core_config;
-    std::size_t trials;
-    std::uint64_t seed;
-    std::size_t threads;
+    std::size_t trials = 0;
+    std::uint64_t seed = 1;
+    std::size_t threads = 0;
     std::string csv_dir;
+    std::string store_path;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
 
-    Context(int argc, char** argv, std::size_t default_trials)
-        : cli(argc, argv),
-          trials(static_cast<std::size_t>(
-              cli.get_int("trials", static_cast<std::int64_t>(default_trials)))),
-          seed(static_cast<std::uint64_t>(cli.get_int("seed", 1))),
-          threads(cli.get_threads()) {
+    /// `extra_known` declares bench-specific flags (e.g. fig5's --points)
+    /// so they are not reported as unknown.
+    Context(int argc, char** argv, std::size_t default_trials,
+            std::vector<std::string> extra_known = {})
+        : cli(argc, argv, known_flags(std::move(extra_known))) {
+        for (const std::string& flag : cli.unknown_flags())
+            std::cerr << "warning: unknown flag --" << flag
+                      << " (ignored; see bench/README.md for the flag list)\n";
+        trials = static_cast<std::size_t>(
+            checked_uint("trials", static_cast<std::uint64_t>(default_trials)));
+        seed = checked_uint("seed", 1);
+        threads = cli.get_threads();
         core_config.dta.cycles =
-            static_cast<std::size_t>(cli.get_int("dta-cycles", 8192));
+            static_cast<std::size_t>(checked_uint("dta-cycles", 8192));
         core_config.cdf_cache_path = cli.get("cache", "sfi_cdf_cache.bin");
-        if (cli.get_bool("no-csv", false)) {
-            csv_dir.clear();
-        } else {
+        // No eager mkdir: the CSV sinks (CsvWriter, CampaignRunner)
+        // create missing directories themselves, so pure-query
+        // invocations leave the filesystem untouched.
+        if (!cli.get_bool("no-csv", false))
             csv_dir = cli.get("csv-dir", "bench_csv");
-            std::filesystem::create_directories(csv_dir);
-        }
+        if (!cli.get_bool("no-store", false))
+            store_path = cli.get("store", "sfi_point_store.bin");
     }
 
     /// Builds the characterized core (prints a one-line summary).
@@ -70,6 +101,16 @@ struct Context {
         return config;
     }
 
+    /// Store/CSV/threads wiring for a campaign run from this bench.
+    campaign::RunOptions campaign_options() const {
+        campaign::RunOptions options;
+        options.store_path = store_path;
+        options.csv_dir = csv_dir;
+        options.threads = threads;
+        options.console = &std::cout;
+        return options;
+    }
+
     std::string csv_path(const std::string& name) const {
         return csv_dir.empty() ? std::string{} : csv_dir + "/" + name;
     }
@@ -80,6 +121,18 @@ struct Context {
                                           start)
                 .count();
         std::cout << "\n[done in " << fmt_fixed(dt, 1) << " s]\n";
+    }
+
+    /// get_uint with CLI-grade error reporting: a bad value prints the
+    /// reason and exits 2 instead of running a nonsense experiment.
+    /// Bench-specific count flags (fig5's --points) go through this too.
+    std::uint64_t checked_uint(const char* name, std::uint64_t def) const {
+        try {
+            return cli.get_uint(name, def);
+        } catch (const std::invalid_argument& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            std::exit(2);
+        }
     }
 };
 

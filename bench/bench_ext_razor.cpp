@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
     using namespace sfi;
-    bench::Context ctx(argc, argv, /*default_trials=*/40);
+    bench::Context ctx(argc, argv, /*default_trials=*/40,
+                       {"coverage", "replay-penalty"});
     const CharacterizedCore core = ctx.make_core();
     const auto bench = make_benchmark(BenchmarkId::KMeans);
 

@@ -6,60 +6,39 @@
 // same endpoint/voltage; higher-significance bits fail earlier than
 // lower-significance ones; a higher supply voltage shifts every CDF to
 // the right.
+//
+// The curve family is described by the declarative fig2 campaign; the
+// runner evaluates it straight from the CDF store (no Monte-Carlo, no
+// point store) and writes the CSV. This driver renders the console table
+// and the onset summary from the returned matrix.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/1);
-    const CharacterizedCore core = ctx.make_core();
-    const TimingErrorCdfs& cdfs = *core.cdfs();
 
-    struct Curve {
-        ExClass cls;
-        std::size_t bit;
-        double vdd;
-    };
-    const std::vector<Curve> curves = {
-        {ExClass::Add, 3, 0.7},  {ExClass::Add, 3, 0.8},
-        {ExClass::Add, 24, 0.7}, {ExClass::Add, 24, 0.8},
-        {ExClass::Mul, 3, 0.7},  {ExClass::Mul, 3, 0.8},
-        {ExClass::Mul, 24, 0.7}, {ExClass::Mul, 24, 0.8},
-    };
+    campaign::CampaignSpec spec = campaign::figures::fig2(ctx.core_config);
+    campaign::RunOptions options = ctx.campaign_options();
+    options.console = nullptr;  // the table below needs percent formatting
+    campaign::CampaignRunner runner(spec, std::move(options));
+    const CharacterizedCore& core = runner.core();
+    const campaign::CampaignResult result = runner.run();
+    const campaign::CdfPanelResult& panel = result.cdf_panels.at(0);
 
-    const auto freqs = linspace(600.0, 2400.0, 37);
-    std::vector<std::string> columns = {"f [MHz]"};
-    for (const Curve& c : curves) {
-        char label[48];
-        std::snprintf(label, sizeof label, "%s b%zu %.1fV",
-                      ex_class_name(c.cls), c.bit, c.vdd);
-        columns.push_back(label);
-    }
-    TextTable table(columns);
-
-    std::unique_ptr<CsvWriter> csv;
-    if (!ctx.csv_path("").empty()) {
-        csv = std::make_unique<CsvWriter>(ctx.csv_path("fig2_cdfs.csv"));
-        csv->header(columns);
-    }
-    for (const double f : freqs) {
-        std::vector<std::string> row = {fmt_fixed(f, 0)};
-        std::vector<double> csv_row = {f};
-        for (const Curve& c : curves) {
-            const double window =
-                (1.0e6 / f) / core.lib().fit().factor(c.vdd);
-            const double p = cdfs.violation_prob(c.cls, c.bit, window);
-            row.push_back(fmt_fixed(100.0 * p, 1) + "%");
-            csv_row.push_back(p);
-        }
-        table.add_row(row);
-        if (csv) csv->row(csv_row);
+    TextTable table(panel.columns);
+    for (const std::vector<double>& row : panel.rows) {
+        std::vector<std::string> cells = {fmt_fixed(row[0], 0)};
+        for (std::size_t i = 1; i < row.size(); ++i)
+            cells.push_back(fmt_fixed(100.0 * row[i], 1) + "%");
+        table.add_row(cells);
     }
     std::cout << "Fig. 2: timing-error-probability CDFs from DTA\n\n";
     table.print(std::cout);
 
     // Onset summary: frequency of first non-zero error probability.
+    const TimingErrorCdfs& cdfs = *core.cdfs();
     std::cout << "\nfirst-failure frequencies (P > 0):\n";
-    for (const Curve& c : curves) {
+    for (const campaign::CdfCurveSpec& c : spec.cdf_panels.at(0).curves) {
         const double window = cdfs.endpoint_max_window_ps(c.cls, c.bit);
         const double f0 = 1.0e6 / (window * core.lib().fit().factor(c.vdd));
         std::cout << "  " << ex_class_name(c.cls) << " bit[" << c.bit << "] @ "

@@ -13,105 +13,50 @@
 // Expected shape: PoFF ordering mul < add32 < add16 (paper: 685 / 746 /
 // 877 MHz), and MSE saturating near the operand-width maximum within
 // ~15 % above the PoFF.
+//
+// The series are OpStream panels of the declarative fig4 campaign — the
+// campaign engine owns the conditioned characterizations, the point
+// store and one standard sweep CSV per series (fig4_add16/add32/mul32);
+// this driver renders the combined three-column console table.
 #include "bench_common.hpp"
-
-namespace {
-
-struct Series {
-    const char* label;
-    sfi::ExClass cls;
-    unsigned operand_bits;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/100);
-    const CharacterizedCore core = ctx.make_core();
 
-    const std::vector<Series> series = {
-        {"l.add 16-bit", ExClass::Add, 16},
-        {"l.add 32-bit", ExClass::Add, 32},
-        {"l.mul 32-bit", ExClass::Mul, 16},
-    };
+    campaign::CampaignSpec spec =
+        campaign::figures::fig4(ctx.core_config, ctx.trials, ctx.seed);
+    for (campaign::PanelSpec& panel : spec.panels)
+        panel.print_table = false;  // combined table below instead
 
-    // Operand-profile-conditioned characterizations.
-    std::vector<std::shared_ptr<const TimingErrorCdfs>> stores;
-    for (const Series& s : series) {
-        DtaConfig dta = core.config().dta;
-        dta.operand_bits = s.operand_bits;
-        DtaResult result;
-        result.setup_ps = core.timing().setup_ps();
-        result.cycles = dta.cycles;
-        result.classes = {run_dta_class(core.alu(), core.timing(), s.cls, dta)};
-        result.worst_arrival_ps = result.classes[0].max_arrival_ps;
-        stores.push_back(
-            std::make_shared<TimingErrorCdfs>(TimingErrorCdfs::from_dta(result)));
-    }
+    campaign::RunOptions options = ctx.campaign_options();
+    campaign::CampaignRunner runner(spec, std::move(options));
+    const campaign::CampaignResult result = runner.run();
 
-    OperatingPoint base;
-    base.vdd = 0.7;
-    base.noise.sigma_mv = 10.0;
-
-    const std::size_t ops_per_trial = 2048;
-    const auto freqs = linspace(650.0, 1250.0, 25);
-
+    const std::vector<std::string> labels = {"l.add 16-bit", "l.add 32-bit",
+                                             "l.mul 32-bit"};
     std::cout << "Fig. 4: MSE vs frequency for add/mul instruction streams "
                  "(Vdd = 0.7 V, sigma = 10 mV)\n\n";
-    TextTable table({"f [MHz]", series[0].label, series[1].label,
-                     series[2].label});
-    std::unique_ptr<CsvWriter> csv;
-    if (!ctx.csv_dir.empty()) {
-        csv = std::make_unique<CsvWriter>(ctx.csv_path("fig4_mse.csv"));
-        csv->header({"freq_mhz", "mse_add16", "mse_add32", "mse_mul32"});
-    }
+    TextTable table({"f [MHz]", labels[0], labels[1], labels[2]});
 
-    std::vector<double> poff(series.size(), 0.0);
-    for (const double f : freqs) {
+    // All three series share the frequency grid; walk them in lock-step.
+    const std::size_t points = result.panels.at(0).sweep.size();
+    std::vector<double> poff(result.panels.size(), 0.0);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f = result.panels[0].sweep[i].point.freq_mhz;
         std::vector<std::string> row = {fmt_fixed(f, 0)};
-        std::vector<double> csv_row = {f};
-        for (std::size_t si = 0; si < series.size(); ++si) {
-            ModelC model(stores[si], core.lib().fit());
-            OperatingPoint point = base;
-            point.freq_mhz = f;
-            model.set_operating_point(point);
-            model.reseed(ctx.seed + si);
-            Rng operands(0xF16'4'000 + si);
-            const std::uint32_t mask = series[si].operand_bits >= 32
-                                           ? 0xffffffffu
-                                           : ((1u << series[si].operand_bits) - 1);
-            double sum_sq = 0.0;
-            std::uint64_t n = 0;
-            for (std::size_t t = 0; t < ctx.trials; ++t) {
-                for (std::size_t i = 0; i < ops_per_trial; ++i) {
-                    model.on_cycle(true);
-                    ExEvent ev;
-                    ev.cls = series[si].cls;
-                    ev.operand_a = operands.u32() & mask;
-                    ev.operand_b = operands.u32() & mask;
-                    const std::uint32_t correct =
-                        alu_result(ev.cls, ev.operand_a, ev.operand_b);
-                    const std::uint32_t got = model.on_ex_result(ev, correct);
-                    const double diff = static_cast<double>(got) -
-                                        static_cast<double>(correct);
-                    sum_sq += diff * diff;
-                    ++n;
-                }
-            }
-            const double mse = sum_sq / static_cast<double>(n);
+        for (std::size_t si = 0; si < result.panels.size(); ++si) {
+            const double mse = result.panels[si].sweep[i].mean_error;
             if (mse > 0.0 && poff[si] == 0.0) poff[si] = f;
             row.push_back(mse > 0.0 ? fmt_sci(mse, 3) : "0");
-            csv_row.push_back(mse);
         }
         table.add_row(row);
-        if (csv) csv->row(csv_row);
     }
     table.print(std::cout);
 
     std::cout << "\npoints of first calculation error (MSE > 0):\n";
-    for (std::size_t si = 0; si < series.size(); ++si)
-        std::cout << "  " << series[si].label << " : "
+    for (std::size_t si = 0; si < result.panels.size(); ++si)
+        std::cout << "  " << labels[si] << " : "
                   << (poff[si] > 0.0 ? fmt_fixed(poff[si], 0) + " MHz"
                                      : std::string("none in range"))
                   << "\n";

@@ -9,55 +9,36 @@
 // limit at low noise, the gain shrinking with sigma and vanishing at
 // 25 mV; noise smoothening all transitions; higher Vdd giving sharper
 // transitions (faster error explosion beyond the PoFF).
+//
+// Thin driver over the declarative fig5 campaign: panels, store-backed
+// points, CSVs, PoFF lines and the manifest all come from the campaign
+// engine.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
-    bench::Context ctx(argc, argv, /*default_trials=*/100);
-    const CharacterizedCore core = ctx.make_core();
-    const auto bench = make_benchmark(BenchmarkId::Median);
-
+    bench::Context ctx(argc, argv, /*default_trials=*/100, {"points"});
     const std::size_t points =
-        static_cast<std::size_t>(ctx.cli.get_int("points", 22));
+        static_cast<std::size_t>(ctx.checked_uint("points", 22));
 
-    for (const double vdd : {0.7, 0.8}) {
-        for (const double sigma : {0.0, 10.0, 25.0}) {
-            auto model = core.make_model_c();
-            OperatingPoint base;
-            base.vdd = vdd;
-            base.noise.sigma_mv = sigma;
-            MonteCarloRunner runner(*bench, *model, ctx.mc_config());
+    campaign::CampaignSpec spec = campaign::figures::fig5(
+        ctx.core_config, ctx.trials, ctx.seed, points);
+    for (campaign::PanelSpec& panel : spec.panels) panel.title.clear();
 
-            const double fsta = core.sta_fmax_mhz(vdd);
-            // The interesting transition region: from below the noisy
-            // first-fault point up to well past total failure.
-            model->set_operating_point(base);
-            const auto sweep = frequency_sweep(
-                runner, base, bench::span(fsta * 0.92, fsta * 1.45, points));
+    campaign::RunOptions options = ctx.campaign_options();
+    options.on_panel_start = [](const campaign::PanelSpec& panel,
+                                const CharacterizedCore& core) {
+        char title[160];
+        std::snprintf(title, sizeof title,
+                      "Fig. 5  Vdd = %.1f V  noise sigma = %.0f mV   "
+                      "(STA limit %.1f MHz)",
+                      panel.base.vdd, panel.base.noise.sigma_mv,
+                      core.sta_fmax_mhz(panel.base.vdd));
+        std::cout << title << "\n";
+    };
+    campaign::CampaignRunner runner(std::move(spec), std::move(options));
+    runner.run();
 
-            char title[160];
-            std::snprintf(title, sizeof title,
-                          "Fig. 5  Vdd = %.1f V  noise sigma = %.0f mV   "
-                          "(STA limit %.1f MHz)",
-                          vdd, sigma, fsta);
-            std::cout << title << "\n";
-            print_sweep(std::cout, "", sweep, "rel. error %");
-
-            if (const auto poff = find_poff_mhz(sweep)) {
-                std::cout << "PoFF = " << fmt_fixed(*poff, 1) << " MHz, gain "
-                          << fmt_fixed(poff_gain_percent(*poff, fsta), 1)
-                          << "% over STA\n";
-            } else {
-                std::cout << "PoFF above the swept range\n";
-            }
-            std::cout << "\n";
-
-            char csv_name[64];
-            std::snprintf(csv_name, sizeof csv_name, "fig5_v%.1f_s%.0f.csv",
-                          vdd, sigma);
-            write_sweep_csv(ctx.csv_path(csv_name), sweep);
-        }
-    }
     std::cout << "paper PoFF gains: +11.4% (0.7V/0), +3.3% (0.7V/10), none "
                  "(0.7V/25), +10.1% (0.8V/0), +6.9% (0.8V/10), +0.1% "
                  "(0.8V/25)\n";

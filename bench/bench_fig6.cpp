@@ -12,57 +12,33 @@
 //    percent more frequency kill it completely at < 1 FI/kCycle;
 //  * model B+ fails all benchmarks identically at its threshold,
 //    providing none of this per-application detail.
+//
+// Thin driver over the declarative fig6 campaign (one store-backed panel
+// per benchmark); the model-B+ contrast threshold is computed here.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/100);
-    const CharacterizedCore core = ctx.make_core();
 
-    OperatingPoint base;
-    base.vdd = 0.7;
-    base.noise.sigma_mv = 10.0;
+    campaign::CampaignSpec spec =
+        campaign::figures::fig6(ctx.core_config, ctx.trials, ctx.seed);
+    for (campaign::PanelSpec& panel : spec.panels) panel.title.clear();
 
-    // Model B+ threshold for contrast.
-    auto model_bp = core.make_model_b();
-    model_bp->set_operating_point(base);
-    const double bplus_threshold = model_bp->first_fault_frequency_mhz();
-    const double fsta = core.sta_fmax_mhz(0.7);
-
-    struct Panel {
-        BenchmarkId id;
-        double lo, hi;       // sweep range relative to fSTA
-        std::size_t points;
-    };
-    const std::vector<Panel> panels = {
-        {BenchmarkId::MatMult8, 0.97, 1.30, 18},
-        {BenchmarkId::MatMult16, 0.97, 1.30, 18},
-        {BenchmarkId::KMeans, 0.97, 1.35, 18},
-        {BenchmarkId::Dijkstra, 0.99, 1.22, 20},  // narrow: higher resolution
-    };
-
-    for (const Panel& panel : panels) {
-        const auto bench = make_benchmark(panel.id);
-        auto model = core.make_model_c();
-        MonteCarloRunner runner(*bench, *model, ctx.mc_config());
-        const auto sweep = frequency_sweep(
-            runner, base,
-            bench::span(fsta * panel.lo, fsta * panel.hi, panel.points));
-
-        std::cout << "Fig. 6  " << bench->name()
+    campaign::RunOptions options = ctx.campaign_options();
+    options.on_panel_start = [](const campaign::PanelSpec& panel,
+                                const CharacterizedCore& core) {
+        // Model B+ threshold for contrast (same base operating point).
+        const double bplus = campaign::first_fault_mhz(
+            core, campaign::ModelSpec::b(), panel.base);
+        std::cout << "Fig. 6  " << benchmark_name(panel.kernel.benchmark)
                   << "  (Vdd = 0.7 V, sigma = 10 mV; STA "
-                  << fmt_fixed(fsta, 1) << " MHz; model B+ fails all "
-                  << "benchmarks at " << fmt_fixed(bplus_threshold, 1)
-                  << " MHz)\n";
-        print_sweep(std::cout, "", sweep, bench->error_unit());
-        if (const auto poff = find_poff_mhz(sweep)) {
-            std::cout << "PoFF = " << fmt_fixed(*poff, 1) << " MHz ("
-                      << fmt_fixed(poff_gain_percent(*poff, fsta), 1)
-                      << "% vs STA)\n";
-        }
-        std::cout << "\n";
-        write_sweep_csv(ctx.csv_path("fig6_" + bench->name() + ".csv"), sweep);
-    }
+                  << fmt_fixed(core.sta_fmax_mhz(panel.base.vdd), 1)
+                  << " MHz; model B+ fails all benchmarks at "
+                  << fmt_fixed(bplus, 1) << " MHz)\n";
+    };
+    campaign::CampaignRunner runner(std::move(spec), std::move(options));
+    runner.run();
     ctx.footer();
     return 0;
 }

@@ -7,55 +7,46 @@
 // (~0.667 V); graceful error growth below (paper: 22 % error at 0.88x /
 // 0.657 V); at sigma = 25 mV the error rises much earlier, leaving only
 // marginal savings.
+//
+// The voltage sweeps are store-backed panels of the declarative fig7
+// campaign (standard sweep CSV per sigma: fig7_s0/s10/s25); this driver
+// adds the power-normalized console view of the paper's y-axis.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
     bench::Context ctx(argc, argv, /*default_trials=*/100);
-    const CharacterizedCore core = ctx.make_core();
-    const auto bench = make_benchmark(BenchmarkId::Median);
     const PowerModel power;
-
-    const double f_nom = core.sta_fmax_mhz(0.7);
     const double v_nom = 0.7;
-    const auto vdds = linspace(0.640, v_nom, 16);
 
+    campaign::CampaignSpec spec =
+        campaign::figures::fig7(ctx.core_config, ctx.trials, ctx.seed);
+    for (campaign::PanelSpec& panel : spec.panels)
+        panel.print_table = false;  // power-normalized table below instead
+
+    campaign::RunOptions options = ctx.campaign_options();
+    campaign::CampaignRunner runner(spec, std::move(options));
     std::cout << "Fig. 7: relative error vs core power, median @ "
-              << fmt_fixed(f_nom, 1) << " MHz fixed\n\n";
+              << fmt_fixed(runner.core().sta_fmax_mhz(v_nom), 1)
+              << " MHz fixed\n\n";
+    const campaign::CampaignResult result = runner.run();
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!ctx.csv_dir.empty()) {
-        csv = std::make_unique<CsvWriter>(ctx.csv_path("fig7_error_power.csv"));
-        csv->header({"vdd", "normalized_power", "sigma_mv", "avg_rel_error",
-                     "finished", "correct"});
-    }
-
-    for (const double sigma : {0.0, 10.0, 25.0}) {
-        auto model = core.make_model_c();
-        OperatingPoint base;
-        base.freq_mhz = f_nom;
-        base.vdd = v_nom;
-        base.noise.sigma_mv = sigma;
-        MonteCarloRunner runner(*bench, *model, ctx.mc_config());
-        const auto sweep = voltage_sweep(runner, base, vdds);
-
+    for (const campaign::PanelResult& panel : result.panels) {
+        const double sigma = panel.sweep.empty()
+                                 ? 0.0
+                                 : panel.sweep.front().point.noise.sigma_mv;
         std::cout << "sigma = " << fmt_fixed(sigma, 0) << " mV\n";
         TextTable table({"Vdd [V]", "norm. power", "finished", "correct",
                          "avg rel. error %"});
         std::optional<double> poff_vdd;
-        for (const PointSummary& p : sweep) {
+        for (const PointSummary& p : panel.sweep) {
             const double np = power.normalized_power(p.point.vdd, v_nom);
             table.add_row({fmt_fixed(p.point.vdd, 3), fmt_fixed(np, 3),
                            fmt_pct(p.finished_frac()), fmt_pct(p.correct_frac()),
                            fmt_fixed(p.mean_error, 2)});
-            if (!poff_vdd && p.correct_count != p.trials) {
-                // sweep is ordered by increasing vdd: remember the highest
-                // voltage that is NOT fully correct.
-            }
+            // The sweep is ordered by increasing vdd: remember the
+            // highest voltage that is NOT fully correct.
             if (p.correct_count != p.trials) poff_vdd = p.point.vdd;
-            if (csv)
-                csv->row({p.point.vdd, np, sigma, p.mean_error,
-                          p.finished_frac(), p.correct_frac()});
         }
         table.print(std::cout);
         if (poff_vdd)

@@ -1,0 +1,48 @@
+// Built-in CampaignSpecs for the paper's figure panels and the ablation
+// studies — the declarative replacements for the sweeps the bench_fig*
+// binaries used to hand-roll. Each factory takes the shared core
+// configuration plus the Monte-Carlo knobs; `trials = 0` selects the
+// figure's historical default trial count.
+//
+// The bench drivers and the `sfi_campaign` binary both run these specs,
+// so a point computed by `bench_fig5` is served from the store when
+// `sfi_campaign --figures fig5` runs later (and vice versa).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace sfi::campaign::figures {
+
+CampaignSpec fig1(const CoreModelConfig& core, std::size_t trials = 0,
+                  std::uint64_t seed = 1);
+CampaignSpec fig2(const CoreModelConfig& core);
+CampaignSpec fig4(const CoreModelConfig& core, std::size_t trials = 0,
+                  std::uint64_t seed = 1);
+CampaignSpec fig5(const CoreModelConfig& core, std::size_t trials = 0,
+                  std::uint64_t seed = 1, std::size_t points = 22);
+CampaignSpec fig6(const CoreModelConfig& core, std::size_t trials = 0,
+                  std::uint64_t seed = 1);
+CampaignSpec fig7(const CoreModelConfig& core, std::size_t trials = 0,
+                  std::uint64_t seed = 1);
+CampaignSpec ablation_adder(const CoreModelConfig& core, std::size_t trials = 0,
+                            std::uint64_t seed = 1);
+CampaignSpec ablation_compression(const CoreModelConfig& core,
+                                  std::size_t trials = 0,
+                                  std::uint64_t seed = 1);
+CampaignSpec ablation_noise_clip(const CoreModelConfig& core,
+                                 std::size_t trials = 0,
+                                 std::uint64_t seed = 1);
+CampaignSpec ablation_policy(const CoreModelConfig& core,
+                             std::size_t trials = 0, std::uint64_t seed = 1);
+
+/// Names accepted by make_figure (and `sfi_campaign --figures`).
+const std::vector<std::string>& figure_names();
+
+/// Factory by name; throws std::invalid_argument for unknown names.
+CampaignSpec make_figure(const std::string& name, const CoreModelConfig& core,
+                         std::size_t trials = 0, std::uint64_t seed = 1);
+
+}  // namespace sfi::campaign::figures

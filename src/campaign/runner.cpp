@@ -1,0 +1,466 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "isa/isa.hpp"
+#include "mc/report.hpp"
+#include "mc/sweep.hpp"
+#include "timing/dta.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace sfi::campaign {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) continue;  // not expected
+        out += c;
+    }
+    return out;
+}
+
+std::string hex64(std::uint64_t value) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/// Grid resolution shared by MC and CDF panels. `first_fault` is only
+/// invoked for FirstFaultWindow grids.
+std::vector<double> resolve(const GridSpec& grid, const CharacterizedCore& core,
+                            double base_vdd,
+                            const std::function<double()>& first_fault) {
+    switch (grid.kind) {
+        case GridSpec::Kind::Explicit:
+            return grid.values;
+        case GridSpec::Kind::Linspace:
+            return linspace(grid.lo, grid.hi, grid.points);
+        case GridSpec::Kind::StaLinspace: {
+            const double fsta = core.sta_fmax_mhz(base_vdd);
+            return linspace(grid.lo * fsta, grid.hi * fsta, grid.points);
+        }
+        case GridSpec::Kind::FirstFaultWindow: {
+            if (!first_fault)
+                throw std::invalid_argument(
+                    "GridSpec: FirstFaultWindow grid needs a model with a "
+                    "first-fault frequency (model B/B+)");
+            const double f0 = first_fault();
+            return arange(f0 - grid.below, f0 + grid.above, grid.step);
+        }
+    }
+    throw std::logic_error("GridSpec: unknown grid kind");
+}
+
+}  // namespace
+
+double first_fault_mhz(const CharacterizedCore& core,
+                       const ModelSpec& model_spec, const OperatingPoint& base) {
+    if (model_spec.kind != ModelSpec::Kind::B)
+        throw std::invalid_argument(
+            "first_fault_mhz: only model B/B+ has a deterministic "
+            "first-fault frequency");
+    auto model = core.make_model_b();
+    model->set_operating_point(base);
+    return model->first_fault_frequency_mhz();
+}
+
+const PanelResult& CampaignResult::panel(const std::string& name) const {
+    for (const PanelResult& p : panels)
+        if (p.name == name) return p;
+    throw std::out_of_range("CampaignResult: no panel named " + name);
+}
+
+bool CampaignRunner::ConditionedStoreKey::operator<(
+    const ConditionedStoreKey& other) const {
+    if (core_fingerprint != other.core_fingerprint)
+        return core_fingerprint < other.core_fingerprint;
+    if (cls != other.cls) return cls < other.cls;
+    return operand_bits < other.operand_bits;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, RunOptions options)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      store_(options_.store_path) {}
+
+CampaignRunner::~CampaignRunner() = default;
+
+const CharacterizedCore& CampaignRunner::core() {
+    const std::uint64_t fp = core_config_fingerprint(spec_.core);
+    auto it = cores_.find(fp);
+    if (it == cores_.end())
+        it = cores_.emplace(fp, std::make_unique<CharacterizedCore>(spec_.core))
+                 .first;
+    return *it->second;
+}
+
+const CharacterizedCore& CampaignRunner::core_for(const PanelSpec& panel) {
+    if (!panel.core_override) return core();
+    const std::uint64_t fp = core_config_fingerprint(*panel.core_override);
+    auto it = cores_.find(fp);
+    if (it == cores_.end())
+        it = cores_
+                 .emplace(fp, std::make_unique<CharacterizedCore>(
+                                  *panel.core_override))
+                 .first;
+    return *it->second;
+}
+
+CampaignRunner::ResolvedPanel CampaignRunner::resolve_panel(
+    const PanelSpec& panel) {
+    const CharacterizedCore& panel_core = core_for(panel);
+    ResolvedPanel resolved{panel.base, {}};
+    if (panel.base_freq_sta_factor)
+        resolved.base.freq_mhz = *panel.base_freq_sta_factor *
+                                 panel_core.sta_fmax_mhz(resolved.base.vdd);
+    resolved.axis_values =
+        resolve(panel.grid, panel_core, resolved.base.vdd, [&] {
+            return first_fault_mhz(panel_core, panel.model, resolved.base);
+        });
+    return resolved;
+}
+
+std::vector<double> CampaignRunner::resolve_grid(const PanelSpec& panel) {
+    return resolve_panel(panel).axis_values;
+}
+
+std::shared_ptr<const TimingErrorCdfs> CampaignRunner::conditioned_store(
+    const PanelSpec& panel, const CharacterizedCore& panel_core) {
+    const ConditionedStoreKey key{panel_core.fingerprint(), panel.kernel.cls,
+                                  *panel.dta_operand_bits};
+    auto it = conditioned_.find(key);
+    if (it != conditioned_.end()) return it->second;
+
+    // Operand-profile-conditioned characterization of just this class
+    // (Fig. 4): re-run DTA with the panel's operand width.
+    DtaConfig dta = panel_core.config().dta;
+    dta.operand_bits = *panel.dta_operand_bits;
+    DtaResult result;
+    result.setup_ps = panel_core.timing().setup_ps();
+    result.cycles = dta.cycles;
+    result.classes = {run_dta_class(panel_core.alu(), panel_core.timing(),
+                                    panel.kernel.cls, dta)};
+    result.worst_arrival_ps = result.classes[0].max_arrival_ps;
+    auto store =
+        std::make_shared<TimingErrorCdfs>(TimingErrorCdfs::from_dta(result));
+    conditioned_.emplace(key, store);
+    return store;
+}
+
+std::unique_ptr<FaultModel> CampaignRunner::make_model(
+    const PanelSpec& panel, const CharacterizedCore& panel_core) {
+    std::unique_ptr<FaultModel> model;
+    switch (panel.model.kind) {
+        case ModelSpec::Kind::A:
+            model = panel_core.make_model_a(panel.model.flip_probability);
+            break;
+        case ModelSpec::Kind::B:
+            model = panel_core.make_model_b();
+            break;
+        case ModelSpec::Kind::C:
+            if (panel.dta_operand_bits)
+                model = std::make_unique<ModelC>(
+                    conditioned_store(panel, panel_core),
+                    panel_core.lib().fit());
+            else
+                model = panel_core.make_model_c();
+            break;
+    }
+    model->set_policy(panel.model.policy);
+    return model;
+}
+
+PointSummary CampaignRunner::compute_op_stream_point(
+    const PanelSpec& panel, FaultModel& model, const OperatingPoint& point) {
+    const KernelSpec& kernel = panel.kernel;
+    model.set_operating_point(point);
+    model.reseed(spec_.seed + panel.seed_offset);
+    Rng operands(kernel.operand_seed);
+    const std::uint32_t mask = kernel.operand_bits >= 32
+                                   ? 0xffffffffu
+                                   : ((1u << kernel.operand_bits) - 1);
+    PointSummary summary;
+    summary.point = point;
+    summary.trials = spec_.trials;
+    for (std::size_t trial = 0; trial < spec_.trials; ++trial) {
+        model.reset_stats();
+        double sum_sq = 0.0;
+        for (std::size_t i = 0; i < kernel.ops_per_trial; ++i) {
+            model.on_cycle(true);
+            ExEvent ev;
+            ev.cls = kernel.cls;
+            ev.operand_a = operands.u32() & mask;
+            ev.operand_b = operands.u32() & mask;
+            const std::uint32_t correct =
+                alu_result(ev.cls, ev.operand_a, ev.operand_b);
+            const std::uint32_t got = model.on_ex_result(ev, correct);
+            const double diff =
+                static_cast<double>(got) - static_cast<double>(correct);
+            sum_sq += diff * diff;
+        }
+        // A raw instruction stream always runs to completion; "correct"
+        // means every result of the trial was exact.
+        ++summary.finished_count;
+        if (sum_sq == 0.0) ++summary.correct_count;
+        summary.error_stats.add(
+            sum_sq / static_cast<double>(kernel.ops_per_trial));
+        summary.fi_rate_stats.add(model.stats().fi_per_kcycle());
+    }
+    summary.fi_rate = summary.fi_rate_stats.mean();
+    summary.mean_error = summary.error_stats.mean();
+    return summary;
+}
+
+PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
+    PanelResult result;
+    result.name = panel.name;
+
+    const CharacterizedCore& panel_core = core_for(panel);
+    const std::uint64_t core_fp = panel_core.fingerprint();
+    if (options_.on_panel_start) options_.on_panel_start(panel, panel_core);
+
+    const ResolvedPanel resolved = resolve_panel(panel);
+    const OperatingPoint& base = resolved.base;
+    const std::vector<double>& axis_values = resolved.axis_values;
+
+    // The executors are built lazily: a fully warm panel (every point in
+    // the store) skips model construction, the golden reference run and
+    // any conditioned re-characterization entirely.
+    std::unique_ptr<Benchmark> bench;
+    std::unique_ptr<FaultModel> model;
+    std::unique_ptr<MonteCarloRunner> mc;
+    const auto ensure_executor = [&] {
+        if (model) return;
+        model = make_model(panel, panel_core);
+        model->set_operating_point(base);
+        if (panel.kernel.kind == KernelSpec::Kind::Benchmark) {
+            bench = make_benchmark(panel.kernel.benchmark);
+            McConfig config;
+            config.trials = spec_.trials;
+            config.seed = spec_.seed + panel.seed_offset;
+            config.watchdog_factor = spec_.watchdog_factor;
+            config.threads = options_.threads;
+            mc = std::make_unique<MonteCarloRunner>(*bench, *model, config);
+        }
+    };
+
+    result.sweep.reserve(axis_values.size());
+    for (const double value : axis_values) {
+        if (options_.cancelled && options_.cancelled()) {
+            result.completed = false;
+            return result;
+        }
+        OperatingPoint point = base;
+        if (panel.axis == Axis::Frequency)
+            point.freq_mhz = value;
+        else
+            point.vdd = value;
+
+        const std::uint64_t key = point_key(spec_, panel, core_fp, point);
+        if (auto stored = store_.lookup(key)) {
+            ++result.store_hits;
+            result.sweep.push_back(std::move(*stored));
+            continue;
+        }
+        ensure_executor();
+        PointSummary summary =
+            panel.kernel.kind == KernelSpec::Kind::Benchmark
+                ? mc->run_point(point)
+                : compute_op_stream_point(panel, *model, point);
+        store_.insert(key, summary);
+        ++result.store_misses;
+        result.sweep.push_back(std::move(summary));
+    }
+
+    if (options_.console && panel.print_table) {
+        std::ostream& os = *options_.console;
+        // Empty title = the driver already printed its own header (via
+        // on_panel_start).
+        if (!panel.title.empty()) os << panel.title << "\n";
+        print_sweep(os, "", result.sweep, panel.error_label);
+        if (panel.axis == Axis::Frequency) {
+            const double fsta = panel_core.sta_fmax_mhz(base.vdd);
+            if (const auto poff = find_poff_mhz(result.sweep))
+                os << "PoFF = " << fmt_fixed(*poff, 1) << " MHz, gain "
+                   << fmt_fixed(poff_gain_percent(*poff, fsta), 1)
+                   << "% over STA (" << fmt_fixed(fsta, 1) << " MHz)\n";
+            else
+                os << "PoFF above the swept range\n";
+        }
+        os << "\n";
+    }
+
+    if (!options_.csv_dir.empty()) {
+        result.csv_path = options_.csv_dir + "/" + panel.name + ".csv";
+        write_sweep_csv(result.csv_path, result.sweep);
+    }
+    return result;
+}
+
+CdfPanelResult CampaignRunner::run_cdf_panel(const CdfPanelSpec& panel) {
+    CdfPanelResult result;
+    result.name = panel.name;
+
+    const CharacterizedCore& campaign_core = core();
+    const TimingErrorCdfs& cdfs = *campaign_core.cdfs();
+    // CDF panels have no base operating point or model, so the symbolic
+    // grid kinds have nothing to resolve against — reject them instead
+    // of evaluating curves at meaningless frequencies.
+    if (panel.grid.kind != GridSpec::Kind::Explicit &&
+        panel.grid.kind != GridSpec::Kind::Linspace)
+        throw std::invalid_argument(
+            "CdfPanelSpec '" + panel.name +
+            "': grids must be Explicit or Linspace");
+    const std::vector<double> freqs =
+        resolve(panel.grid, campaign_core, /*base_vdd=*/0.0, nullptr);
+
+    result.columns = {"f [MHz]"};
+    for (const CdfCurveSpec& curve : panel.curves) {
+        char label[48];
+        std::snprintf(label, sizeof label, "%s b%zu %.1fV",
+                      ex_class_name(curve.cls), curve.bit, curve.vdd);
+        result.columns.push_back(label);
+    }
+
+    result.rows.reserve(freqs.size());
+    for (const double f : freqs) {
+        std::vector<double> row = {f};
+        for (const CdfCurveSpec& curve : panel.curves) {
+            const double window =
+                (1.0e6 / f) / campaign_core.lib().fit().factor(curve.vdd);
+            row.push_back(cdfs.violation_prob(curve.cls, curve.bit, window));
+        }
+        result.rows.push_back(std::move(row));
+    }
+
+    if (!options_.csv_dir.empty()) {
+        result.csv_path = options_.csv_dir + "/" + panel.name + ".csv";
+        CsvWriter csv(result.csv_path);
+        csv.header(result.columns);
+        for (const auto& row : result.rows) csv.row(row);
+        csv.close();  // surface write failures like the sweep CSVs do
+    }
+    return result;
+}
+
+void CampaignRunner::write_manifest(CampaignResult& result) {
+    std::string path = options_.manifest_path;
+    if (path.empty() && !options_.csv_dir.empty())
+        path = options_.csv_dir + "/" + spec_.name + "_manifest.json";
+    if (path.empty()) return;
+
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("campaign manifest: cannot open " + path);
+
+    // Stable description first; everything that varies between runs of
+    // the same spec (hit/miss split, wall clock, machine-local paths)
+    // lives on the single "run" line so consumers — and the resume tests
+    // — can separate the two by line.
+    os << "{\n";
+    os << "  \"campaign\": \"" << json_escape(spec_.name) << "\",\n";
+    os << "  \"spec_fingerprint\": \"0x" << hex64(result.spec_fingerprint)
+       << "\",\n";
+    os << "  \"trials\": " << spec_.trials << ",\n";
+    os << "  \"seed\": " << spec_.seed << ",\n";
+    os << "  \"panels\": [\n";
+    bool first = true;
+    for (const PanelResult& panel : result.panels) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "    {\"name\": \"" << json_escape(panel.name)
+           << "\", \"kind\": \"mc\", \"points\": " << panel.sweep.size()
+           << ", \"csv\": \""
+           << json_escape(
+                  std::filesystem::path(panel.csv_path).filename().string())
+           << "\"}";
+    }
+    for (const CdfPanelResult& panel : result.cdf_panels) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "    {\"name\": \"" << json_escape(panel.name)
+           << "\", \"kind\": \"cdf\", \"points\": " << panel.rows.size()
+           << ", \"csv\": \""
+           << json_escape(
+                  std::filesystem::path(panel.csv_path).filename().string())
+           << "\"}";
+    }
+    os << "\n  ],\n";
+    os << "  \"run\": {\"store_path\": \"" << json_escape(options_.store_path)
+       << "\", \"store_hits\": " << result.store_hits
+       << ", \"store_misses\": " << result.store_misses
+       << ", \"store_recovered_bytes\": " << store_.recovered_bytes()
+       << ", \"threads\": " << options_.threads
+       << ", \"wall_clock_s\": " << format_double(result.wall_s)
+       << ", \"completed\": " << (result.completed ? "true" : "false")
+       << "}\n";
+    os << "}\n";
+    os.flush();
+    if (!os)
+        throw std::runtime_error("campaign manifest: write to " + path +
+                                 " failed");
+    result.manifest_path = path;
+}
+
+CampaignResult CampaignRunner::run() {
+    const auto t0 = std::chrono::steady_clock::now();
+    CampaignResult result;
+    result.name = spec_.name;
+    result.spec_fingerprint = spec_.fingerprint();
+
+    if (!options_.csv_dir.empty())
+        std::filesystem::create_directories(options_.csv_dir);
+
+    for (const PanelSpec& panel : spec_.panels) {
+        if (options_.cancelled && options_.cancelled()) {
+            result.completed = false;
+            break;
+        }
+        PanelResult panel_result = run_panel(panel);
+        result.store_hits += panel_result.store_hits;
+        result.store_misses += panel_result.store_misses;
+        const bool completed = panel_result.completed;
+        result.panels.push_back(std::move(panel_result));
+        if (!completed) {
+            result.completed = false;
+            break;
+        }
+    }
+    if (result.completed)
+        for (const CdfPanelSpec& panel : spec_.cdf_panels) {
+            if (options_.cancelled && options_.cancelled()) {
+                result.completed = false;
+                break;
+            }
+            result.cdf_panels.push_back(run_cdf_panel(panel));
+        }
+
+    result.wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    write_manifest(result);
+
+    if (options_.console) {
+        *options_.console << "[campaign " << spec_.name << "] "
+                          << result.store_hits << " store hits, "
+                          << result.store_misses << " misses, "
+                          << fmt_fixed(result.wall_s, 1) << " s"
+                          << (result.completed ? "" : " (cancelled)") << "\n";
+    }
+    return result;
+}
+
+}  // namespace sfi::campaign

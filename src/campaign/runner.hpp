@@ -1,0 +1,146 @@
+// Executes a CampaignSpec: builds (and caches) the characterized cores,
+// resolves the symbolic grids, schedules every panel's points through
+// the Monte-Carlo engine, and emits the unified artifacts (per-panel CSV
+// plus a campaign manifest JSON).
+//
+// Scheduling layers point-level dispatch over the existing trial-level
+// pool: points run serially in spec order — preserving progress output
+// and PoFF semantics — while each point's trials fan out across
+// RunOptions::threads workers via MonteCarloRunner::run_point
+// (src/mc/parallel.hpp). Completed points are appended to the point
+// store before the next point starts, so an interrupted campaign can be
+// re-run and every finished point is served from the store. By the PR 2
+// determinism contract a stored summary equals a recomputed one bit for
+// bit, which makes a warm re-run's CSV output byte-identical to a cold
+// run's — the resume guarantee, enforced by tests/campaign/ and CI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/point_store.hpp"
+#include "campaign/spec.hpp"
+#include "fi/core_model.hpp"
+
+namespace sfi::campaign {
+
+struct RunOptions {
+    /// Point-store file; empty = compute everything, persist nothing.
+    std::string store_path;
+    /// Directory for per-panel CSVs (created on demand); empty = no CSV.
+    std::string csv_dir;
+    /// Manifest JSON path; empty = `<csv_dir>/<campaign>_manifest.json`
+    /// when csv_dir is set, else no manifest.
+    std::string manifest_path;
+    /// MC worker threads per point (McConfig::threads semantics: 0 = one
+    /// per hardware thread, 1 = serial; bit-identical at any value).
+    std::size_t threads = 1;
+    /// Console progress (panel tables, PoFF lines); null = quiet.
+    std::ostream* console = nullptr;
+    /// Checked before every point; returning true stops the campaign
+    /// cleanly after the point in flight (completed points are already
+    /// persisted). This is how tests emulate a mid-sweep kill.
+    std::function<bool()> cancelled;
+    /// Invoked before each MC panel executes (after its core is built) —
+    /// drivers hook their bespoke per-panel console headers here.
+    std::function<void(const PanelSpec&, const CharacterizedCore&)>
+        on_panel_start;
+};
+
+struct PanelResult {
+    std::string name;
+    std::vector<PointSummary> sweep;
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
+    std::string csv_path;    ///< "" when CSV is disabled or panel incomplete
+    bool completed = true;   ///< false when the campaign was cancelled mid-panel
+};
+
+struct CdfPanelResult {
+    std::string name;
+    std::vector<std::string> columns;        ///< "f [MHz]" + one per curve
+    std::vector<std::vector<double>> rows;   ///< [point][column]
+    std::string csv_path;
+};
+
+struct CampaignResult {
+    std::string name;
+    std::uint64_t spec_fingerprint = 0;
+    std::vector<PanelResult> panels;
+    std::vector<CdfPanelResult> cdf_panels;
+    std::size_t store_hits = 0;
+    std::size_t store_misses = 0;
+    double wall_s = 0.0;
+    bool completed = true;
+    std::string manifest_path;  ///< "" when no manifest was written
+
+    const PanelResult& panel(const std::string& name) const;
+};
+
+class CampaignRunner {
+public:
+    CampaignRunner(CampaignSpec spec, RunOptions options);
+    ~CampaignRunner();
+
+    const CampaignSpec& spec() const { return spec_; }
+
+    /// The campaign-level core (spec.core), built on first use.
+    const CharacterizedCore& core();
+    /// The effective core of one panel (its override, or spec.core).
+    const CharacterizedCore& core_for(const PanelSpec& panel);
+
+    /// Grid resolved against the panel's core — exposed for drivers and
+    /// tests that need the x-axis values without executing anything.
+    std::vector<double> resolve_grid(const PanelSpec& panel);
+
+    /// Executes every panel (store-backed) and writes CSVs + manifest.
+    CampaignResult run();
+
+private:
+    struct ConditionedStoreKey {
+        std::uint64_t core_fingerprint;
+        ExClass cls;
+        unsigned operand_bits;
+        bool operator<(const ConditionedStoreKey& other) const;
+    };
+
+    /// A panel's runtime-resolved base point and x-axis samples — the one
+    /// source of truth for both resolve_grid() and run_panel().
+    struct ResolvedPanel {
+        OperatingPoint base;
+        std::vector<double> axis_values;
+    };
+    ResolvedPanel resolve_panel(const PanelSpec& panel);
+
+    std::unique_ptr<FaultModel> make_model(const PanelSpec& panel,
+                                           const CharacterizedCore& core);
+    std::shared_ptr<const TimingErrorCdfs> conditioned_store(
+        const PanelSpec& panel, const CharacterizedCore& core);
+    PointSummary compute_op_stream_point(const PanelSpec& panel,
+                                         FaultModel& model,
+                                         const OperatingPoint& point);
+    PanelResult run_panel(const PanelSpec& panel);
+    CdfPanelResult run_cdf_panel(const CdfPanelSpec& panel);
+    void write_manifest(CampaignResult& result);
+
+    CampaignSpec spec_;
+    RunOptions options_;
+    PointStore store_;
+    /// Cores cached by configuration fingerprint (panel overrides).
+    std::map<std::uint64_t, std::unique_ptr<CharacterizedCore>> cores_;
+    std::map<ConditionedStoreKey, std::shared_ptr<const TimingErrorCdfs>>
+        conditioned_;
+};
+
+/// First-fault frequency (MHz) of `model_spec` instantiated on `core` at
+/// `base` — the runtime anchor of FirstFaultWindow grids, exposed so
+/// drivers can echo it in panel titles. Model B/B+ only.
+double first_fault_mhz(const CharacterizedCore& core, const ModelSpec& model_spec,
+                       const OperatingPoint& base);
+
+}  // namespace sfi::campaign

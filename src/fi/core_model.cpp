@@ -4,49 +4,36 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/fingerprint.hpp"
+
 namespace sfi {
 
-namespace {
-
-// FNV-1a over the bytes of the numeric configuration knobs that affect
-// the DTA result. Changing any of them invalidates a CDF cache.
-std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-        hash ^= bytes[i];
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
-}
-
-template <typename T>
-std::uint64_t mix(std::uint64_t hash, const T& value) {
-    return fnv1a(hash, &value, sizeof value);
-}
-
-}  // namespace
-
-std::uint64_t CharacterizedCore::config_fingerprint() const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    h = mix(h, config_.alu.adder);
-    h = mix(h, config_.alu.operand_isolation);
-    h = mix(h, config_.lib.load_per_fanout);
-    h = mix(h, config_.lib.process_sigma);
-    h = mix(h, config_.lib.process_seed);
-    h = mix(h, config_.lib.ff_setup_ps);
-    h = mix(h, config_.lib.vdd.vref);
-    h = mix(h, config_.lib.vdd.vth);
-    h = mix(h, config_.lib.vdd.alpha);
-    h = mix(h, config_.calibration.vdd);
-    h = mix(h, config_.calibration.mul_period_ps);
-    h = mix(h, config_.calibration.add_period_ps);
-    h = mix(h, config_.calibration.shift_period_ps);
-    h = mix(h, config_.calibration.logic_period_ps);
-    h = mix(h, config_.dta.cycles);
-    h = mix(h, config_.dta.seed);
-    h = mix(h, config_.dta.clk_to_q_ps);
-    h = mix(h, config_.dta.operand_bits);
-    return h;
+// Hashes the numeric configuration knobs that affect the DTA result.
+// Changing any of them invalidates a CDF cache (and every campaign point
+// computed against the old characterization).
+std::uint64_t core_config_fingerprint(const CoreModelConfig& config) {
+    Fingerprint fp;
+    fp.mix(config.alu.adder);
+    fp.mix(config.alu.operand_isolation);
+    fp.mix(config.lib.load_per_fanout);
+    fp.mix(config.lib.process_sigma);
+    fp.mix(config.lib.process_seed);
+    fp.mix(config.lib.ff_setup_ps);
+    fp.mix(config.lib.cell_alpha_spread);
+    fp.mix(config.lib.vdd.vref);
+    fp.mix(config.lib.vdd.vth);
+    fp.mix(config.lib.vdd.alpha);
+    fp.mix(config.calibration.vdd);
+    fp.mix(config.calibration.compression);
+    fp.mix(config.calibration.mul_period_ps);
+    fp.mix(config.calibration.add_period_ps);
+    fp.mix(config.calibration.shift_period_ps);
+    fp.mix(config.calibration.logic_period_ps);
+    fp.mix(config.dta.cycles);
+    fp.mix(config.dta.seed);
+    fp.mix(config.dta.clk_to_q_ps);
+    fp.mix(config.dta.operand_bits);
+    return fp.value();
 }
 
 CharacterizedCore::CharacterizedCore(CoreModelConfig config)
@@ -57,7 +44,7 @@ CharacterizedCore::CharacterizedCore(CoreModelConfig config)
     calibration_ = calibrate_alu(alu_, timing_, config_.calibration);
     sta_ = endpoint_worst_sta(alu_, timing_);
 
-    const std::uint64_t fingerprint = config_fingerprint();
+    const std::uint64_t fingerprint = core_config_fingerprint(config_);
     bool loaded = false;
     if (!config_.cdf_cache_path.empty() &&
         std::filesystem::exists(config_.cdf_cache_path)) {

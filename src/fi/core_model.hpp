@@ -31,6 +31,13 @@ struct CoreModelConfig {
     std::string cdf_cache_path;
 };
 
+/// FNV-1a hash of every CoreModelConfig knob that affects the
+/// characterization result (the cache path is deliberately excluded).
+/// This is the invalidation key of the CDF cache and one ingredient of
+/// the campaign point-store keys (src/campaign/): two configs with equal
+/// fingerprints characterize to identical cores.
+std::uint64_t core_config_fingerprint(const CoreModelConfig& config);
+
 class CharacterizedCore {
 public:
     explicit CharacterizedCore(CoreModelConfig config = {});
@@ -42,6 +49,8 @@ public:
     const StaResult& sta() const { return sta_; }
     const std::shared_ptr<const TimingErrorCdfs>& cdfs() const { return cdfs_; }
     const CoreModelConfig& config() const { return config_; }
+    /// core_config_fingerprint(config()).
+    std::uint64_t fingerprint() const { return core_config_fingerprint(config_); }
 
     /// Design STA frequency limit (MHz) at a supply voltage — the "STA"
     /// marker of the paper's figures (707 MHz at 0.7 V by calibration).
@@ -58,8 +67,6 @@ public:
     std::unique_ptr<ModelC> make_model_c() const;
 
 private:
-    std::uint64_t config_fingerprint() const;
-
     CoreModelConfig config_;
     Alu alu_;
     TimingLib lib_;

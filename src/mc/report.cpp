@@ -37,6 +37,7 @@ void write_sweep_csv(const std::string& path,
             .cell(static_cast<std::uint64_t>(p.trials));
         csv.end_row();
     }
+    csv.close();  // surfaces stream errors (full disk, revoked mount, ...)
 }
 
 void print_point_progress(std::ostream& os, const PointSummary& point) {

@@ -18,7 +18,9 @@ void print_sweep(std::ostream& os, const std::string& title,
                  const std::string& error_label);
 
 /// Same series as CSV (columns: freq_mhz, vdd, sigma_mv, finished, correct,
-/// fi_per_kcycle, mean_error, trials). Empty path = skip.
+/// fi_per_kcycle, mean_error, trials). Empty path = skip. Missing parent
+/// directories are created; open or write failures throw
+/// std::runtime_error instead of silently dropping the figure data.
 void write_sweep_csv(const std::string& path,
                      const std::vector<PointSummary>& sweep);
 

@@ -16,6 +16,10 @@
 #pragma once
 
 #include "apps/benchmark.hpp"
+#include "campaign/figures.hpp"
+#include "campaign/point_store.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "circuits/alu.hpp"
 #include "cpu/cpu.hpp"
 #include "cpu/memory.hpp"
@@ -41,6 +45,7 @@
 #include "timing/vdd_model.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/fingerprint.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -1,9 +1,21 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace sfi {
+
+Cli::Cli(int argc, const char* const* argv, std::vector<std::string> known)
+    : Cli(argc, argv) {
+    for (const auto& [name, value] : options_) {
+        (void)value;
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            unknown_.push_back(name);
+    }
+}
 
 Cli::Cli(int argc, const char* const* argv) {
     if (argc > 0) program_ = argv[0];
@@ -50,6 +62,27 @@ double Cli::get_double(const std::string& name, double def) const {
     const auto it = options_.find(name);
     if (it == options_.end()) return def;
     return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t def) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return def;
+    const std::string& text = it->second;
+    std::size_t i = 0;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    // strtoull would silently wrap "-5" to 18446744073709551611.
+    if (i < text.size() && (text[i] == '-' || text[i] == '+'))
+        throw std::invalid_argument("--" + name + " must be a non-negative "
+                                    "integer (got \"" + text + "\")");
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        throw std::invalid_argument("--" + name + " must be a non-negative "
+                                    "integer (got \"" + text + "\")");
+    return static_cast<std::uint64_t>(value);
 }
 
 std::size_t Cli::get_threads(std::size_t def) const {

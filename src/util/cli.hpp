@@ -12,16 +12,27 @@ namespace sfi {
 
 class Cli {
 public:
-    /// Parses argv; unknown options are collected and reported by
-    /// `unknown()` so binaries can warn instead of aborting (google-benchmark
-    /// passes its own flags through).
+    /// Parses argv. With the one-argument form every option is accepted
+    /// silently; pass a vocabulary of known option names to have the
+    /// parser classify anything else into `unknown_flags()`. Unknown
+    /// options are still parsed and retrievable through get*() — callers
+    /// warn instead of aborting, preserving the pass-through behavior
+    /// binaries that forward foreign flags (bench_microbench) rely on.
     Cli(int argc, const char* const* argv);
+    Cli(int argc, const char* const* argv, std::vector<std::string> known);
 
     bool has(const std::string& name) const;
     std::string get(const std::string& name, const std::string& def) const;
     std::int64_t get_int(const std::string& name, std::int64_t def) const;
     double get_double(const std::string& name, double def) const;
     bool get_bool(const std::string& name, bool def) const;
+
+    /// Strict parser for inherently non-negative quantities (--trials,
+    /// --seed): a negative or unparseable value would otherwise wrap to
+    /// a huge unsigned and silently run a nonsense experiment, so it
+    /// throws std::invalid_argument naming the flag instead. Accepts the
+    /// full std::uint64_t range (seeds are arbitrary 64-bit values).
+    std::uint64_t get_uint(const std::string& name, std::uint64_t def) const;
 
     /// The shared `--threads` parser for McConfig::threads: non-negative
     /// worker count, where 0 means one worker per hardware thread.
@@ -31,6 +42,8 @@ public:
 
     /// Positional (non-option) arguments, in order.
     const std::vector<std::string>& positional() const { return positional_; }
+    /// Options seen on the command line but absent from the `known`
+    /// vocabulary (always empty when none was given).
     const std::vector<std::string>& unknown_flags() const { return unknown_; }
     const std::string& program() const { return program_; }
 

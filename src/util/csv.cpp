@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
 namespace sfi {
@@ -32,8 +33,25 @@ std::string format_double(double v) {
     return buf;
 }
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        // An error here surfaces as the open failure below, with a
+        // message naming the path the caller asked for.
+    }
+    out_.open(path);
     if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::close() {
+    out_.flush();
+    if (!out_)
+        throw std::runtime_error("CsvWriter: write to " + path_ + " failed");
+    out_.close();
+    if (!out_)
+        throw std::runtime_error("CsvWriter: closing " + path_ + " failed");
 }
 
 void CsvWriter::header(const std::vector<std::string>& columns) {

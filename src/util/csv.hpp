@@ -13,7 +13,8 @@ namespace sfi {
 /// round-trip doubles; strings containing separators/quotes are quoted.
 class CsvWriter {
 public:
-    /// Opens `path` for writing; throws std::runtime_error on failure.
+    /// Opens `path` for writing, creating missing parent directories;
+    /// throws std::runtime_error when the file cannot be opened.
     explicit CsvWriter(const std::string& path);
 
     /// Writes the header row. Must be called before any data row.
@@ -31,9 +32,16 @@ public:
 
     std::size_t rows_written() const { return rows_; }
 
+    /// Flushes and throws std::runtime_error if any write failed (a full
+    /// disk otherwise passes silently — ofstream just sets failbit).
+    /// Callers that skip close() keep the historical fire-and-forget
+    /// behavior.
+    void close();
+
 private:
     void put(const std::string& raw);
 
+    std::string path_;
     std::ofstream out_;
     std::string pending_;
     bool row_open_ = false;

@@ -1,0 +1,51 @@
+// Streaming FNV-1a fingerprints for cache keys. Both binary stores of
+// the repo — the CDF cache (src/fi/core_model.cpp) and the campaign
+// point store (src/campaign/point_store.hpp) — key their entries by
+// hashing every configuration knob that affects the cached result, so a
+// changed configuration reads as a miss instead of serving stale data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace sfi {
+
+/// FNV-1a 64-bit accumulator. Feed it the raw bytes of the values that
+/// determine a cached artifact; equal value sequences give equal hashes
+/// on every platform (the hash walks bytes, so it is endianness-bound —
+/// fine for caches that never leave the machine family that wrote them).
+class Fingerprint {
+public:
+    Fingerprint& bytes(const void* data, std::size_t size) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ULL;
+        }
+        return *this;
+    }
+
+    /// Mixes the object representation of a trivially copyable value.
+    template <typename T>
+    Fingerprint& mix(const T& value) {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "mix() hashes raw bytes; serialize non-trivial types "
+                      "explicitly");
+        return bytes(&value, sizeof value);
+    }
+
+    /// Strings are mixed as length + contents so ("ab","c") != ("a","bc").
+    Fingerprint& mix(const std::string& value) {
+        mix(value.size());
+        return bytes(value.data(), value.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace sfi

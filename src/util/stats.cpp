@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 namespace sfi {
@@ -38,6 +40,24 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 void RunningStats::reset() { *this = RunningStats{}; }
+
+void RunningStats::save(std::ostream& os) const {
+    const std::uint64_t n = n_;
+    os.write(reinterpret_cast<const char*>(&n), sizeof n);
+    for (const double v : {mean_, m2_, min_, max_})
+        os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+RunningStats RunningStats::load(std::istream& is) {
+    RunningStats stats;
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof n);
+    stats.n_ = static_cast<std::size_t>(n);
+    for (double* v : {&stats.mean_, &stats.m2_, &stats.min_, &stats.max_})
+        is.read(reinterpret_cast<char*>(v), sizeof *v);
+    if (!is) throw std::runtime_error("RunningStats::load: truncated stream");
+    return stats;
+}
 
 double RunningStats::variance() const {
     if (n_ < 2) return 0.0;

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace sfi {
@@ -24,6 +25,13 @@ public:
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
     double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /// Binary persistence of the exact accumulator state (count + raw
+    /// mean/M2/min/max doubles). A loaded instance is bit-identical to
+    /// the saved one — the campaign point store relies on this so a warm
+    /// re-run reproduces cold-run output byte for byte.
+    void save(std::ostream& os) const;
+    static RunningStats load(std::istream& is);
 
 private:
     std::size_t n_ = 0;

@@ -1,0 +1,184 @@
+// Point-store mechanics: bit-exact PointSummary round-trips, persistence
+// across reopen, duplicate-insert idempotence, and the corrupt-entry
+// fallback (truncated tail, bit rot, foreign file) that underwrites the
+// campaign resume guarantee.
+#include "campaign/point_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sfi::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+PointSummary sample_summary(double freq_mhz, std::size_t trials = 40) {
+    PointSummary s;
+    s.point.freq_mhz = freq_mhz;
+    s.point.vdd = 0.713;
+    s.point.noise.sigma_mv = 10.5;
+    s.point.noise.clip_sigmas = 2.25;
+    s.trials = trials;
+    s.finished_count = trials - 3;
+    s.correct_count = trials - 7;
+    for (std::size_t i = 0; i < s.finished_count; ++i)
+        s.error_stats.add(0.01 * static_cast<double>(i) + freq_mhz * 1e-5);
+    for (std::size_t i = 0; i < trials; ++i)
+        s.fi_rate_stats.add(0.3 * static_cast<double>(i % 7));
+    s.fi_rate = s.fi_rate_stats.mean();
+    s.mean_error = s.error_stats.mean();
+    return s;
+}
+
+void expect_identical(const PointSummary& a, const PointSummary& b) {
+    EXPECT_EQ(a.point.freq_mhz, b.point.freq_mhz);
+    EXPECT_EQ(a.point.vdd, b.point.vdd);
+    EXPECT_EQ(a.point.noise.sigma_mv, b.point.noise.sigma_mv);
+    EXPECT_EQ(a.point.noise.clip_sigmas, b.point.noise.clip_sigmas);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.finished_count, b.finished_count);
+    EXPECT_EQ(a.correct_count, b.correct_count);
+    // Bitwise double comparisons: the store must reproduce the exact
+    // accumulator state, not merely a close value.
+    EXPECT_EQ(a.fi_rate, b.fi_rate);
+    EXPECT_EQ(a.mean_error, b.mean_error);
+    EXPECT_EQ(a.error_stats.count(), b.error_stats.count());
+    EXPECT_EQ(a.error_stats.mean(), b.error_stats.mean());
+    EXPECT_EQ(a.error_stats.variance(), b.error_stats.variance());
+    EXPECT_EQ(a.error_stats.min(), b.error_stats.min());
+    EXPECT_EQ(a.error_stats.max(), b.error_stats.max());
+    EXPECT_EQ(a.fi_rate_stats.count(), b.fi_rate_stats.count());
+    EXPECT_EQ(a.fi_rate_stats.mean(), b.fi_rate_stats.mean());
+    EXPECT_EQ(a.fi_rate_stats.variance(), b.fi_rate_stats.variance());
+}
+
+class PointStoreTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        path_ = (fs::path(::testing::TempDir()) /
+                 ("sfi_point_store_test_" + std::to_string(::getpid()) + ".bin"))
+                    .string();
+        fs::remove(path_);
+    }
+    void TearDown() override { fs::remove(path_); }
+
+    std::string path_;
+};
+
+TEST(PointSummarySerialization, RoundTripIsBitExact) {
+    const PointSummary original = sample_summary(750.5);
+    std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+    save_point_summary(buffer, original);
+    const PointSummary loaded = load_point_summary(buffer);
+    expect_identical(original, loaded);
+}
+
+TEST(PointSummarySerialization, TruncatedStreamThrows) {
+    const PointSummary original = sample_summary(750.5);
+    std::ostringstream os(std::ios::binary);
+    save_point_summary(os, original);
+    const std::string bytes = os.str();
+    std::istringstream is(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(load_point_summary(is), std::runtime_error);
+}
+
+TEST_F(PointStoreTest, InMemoryStoreWithoutPath) {
+    PointStore store;
+    EXPECT_FALSE(store.lookup(1).has_value());
+    store.insert(1, sample_summary(700.0));
+    ASSERT_TRUE(store.lookup(1).has_value());
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(PointStoreTest, PersistsAcrossReopen) {
+    {
+        PointStore store(path_);
+        store.insert(0xAAA, sample_summary(700.0));
+        store.insert(0xBBB, sample_summary(710.0, 25));
+    }
+    PointStore reopened(path_);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.recovered_bytes(), 0u);
+    ASSERT_TRUE(reopened.lookup(0xAAA).has_value());
+    ASSERT_TRUE(reopened.lookup(0xBBB).has_value());
+    expect_identical(sample_summary(700.0), *reopened.lookup(0xAAA));
+    expect_identical(sample_summary(710.0, 25), *reopened.lookup(0xBBB));
+}
+
+TEST_F(PointStoreTest, DuplicateInsertIsIdempotent) {
+    PointStore store(path_);
+    store.insert(7, sample_summary(700.0));
+    const auto size_after_first = fs::file_size(path_);
+    store.insert(7, sample_summary(700.0));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(fs::file_size(path_), size_after_first);
+}
+
+TEST_F(PointStoreTest, TruncatedTailIsDroppedAndOverwritten) {
+    {
+        PointStore store(path_);
+        store.insert(1, sample_summary(700.0));
+        store.insert(2, sample_summary(710.0));
+    }
+    // Tear the second record, as a kill mid-write would.
+    fs::resize_file(path_, fs::file_size(path_) - 5);
+    {
+        PointStore store(path_);
+        EXPECT_EQ(store.size(), 1u);
+        EXPECT_GT(store.recovered_bytes(), 0u);
+        EXPECT_TRUE(store.lookup(1).has_value());
+        EXPECT_FALSE(store.lookup(2).has_value());
+        // Appending after recovery lands where the torn record began.
+        store.insert(3, sample_summary(720.0));
+    }
+    PointStore reopened(path_);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.recovered_bytes(), 0u);
+    EXPECT_TRUE(reopened.lookup(1).has_value());
+    EXPECT_TRUE(reopened.lookup(3).has_value());
+}
+
+TEST_F(PointStoreTest, BitRotInPayloadDropsTheRecord) {
+    {
+        PointStore store(path_);
+        store.insert(1, sample_summary(700.0));
+        store.insert(2, sample_summary(710.0));
+    }
+    // Flip one byte inside the second record's payload.
+    std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-20, std::ios::end);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(-20, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+    file.close();
+
+    PointStore store(path_);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.lookup(1).has_value());
+    EXPECT_FALSE(store.lookup(2).has_value());
+    EXPECT_GT(store.recovered_bytes(), 0u);
+}
+
+TEST_F(PointStoreTest, ForeignFileIsTreatedAsEmptyAndRewritten) {
+    std::ofstream(path_) << "this is not a point store\n";
+    {
+        PointStore store(path_);
+        EXPECT_EQ(store.size(), 0u);
+        EXPECT_GT(store.recovered_bytes(), 0u);
+        store.insert(9, sample_summary(730.0));
+    }
+    PointStore reopened(path_);
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_TRUE(reopened.lookup(9).has_value());
+}
+
+}  // namespace
+}  // namespace sfi::campaign

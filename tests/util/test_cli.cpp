@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace sfi {
 namespace {
 
@@ -71,6 +73,50 @@ TEST(Cli, GetThreadsClampsNegativeToAuto) {
     // context per trial.
     EXPECT_EQ(make({"prog", "--threads=-1"}).get_threads(), 0u);
     EXPECT_EQ(make({"prog", "--threads=-100"}).get_threads(3), 0u);
+}
+
+TEST(Cli, GetUintParsesValuesAndDefaults) {
+    EXPECT_EQ(make({"prog", "--trials", "250"}).get_uint("trials", 1), 250u);
+    EXPECT_EQ(make({"prog", "--seed=0x10"}).get_uint("seed", 1), 16u);
+    EXPECT_EQ(make({"prog"}).get_uint("trials", 42), 42u);
+    // Seeds use the full 64-bit range.
+    EXPECT_EQ(make({"prog", "--seed", "18446744073709551615"}).get_uint("seed", 1),
+              0xffffffffffffffffULL);
+}
+
+TEST(Cli, GetUintRejectsNegativeValues) {
+    // strtoull would silently wrap -5 to 18446744073709551611 and run a
+    // nonsense experiment; the strict parser throws instead.
+    EXPECT_THROW(make({"prog", "--trials=-5"}).get_uint("trials", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(make({"prog", "--seed=-1"}).get_uint("seed", 1),
+                 std::invalid_argument);
+}
+
+TEST(Cli, GetUintRejectsUnparseableValues) {
+    EXPECT_THROW(make({"prog", "--trials=lots"}).get_uint("trials", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(make({"prog", "--trials=12many"}).get_uint("trials", 1),
+                 std::invalid_argument);
+    EXPECT_THROW(make({"prog", "--trials="}).get_uint("trials", 1),
+                 std::invalid_argument);
+}
+
+TEST(Cli, KnownVocabularyClassifiesUnknownFlags) {
+    std::vector<const char*> argv = {"prog", "--trails", "5", "--trials", "7"};
+    const Cli cli(static_cast<int>(argv.size()), argv.data(),
+                  {"trials", "threads"});
+    ASSERT_EQ(cli.unknown_flags().size(), 1u);
+    EXPECT_EQ(cli.unknown_flags()[0], "trails");
+    // Pass-through preserved: the unknown flag is still parsed and
+    // retrievable (bench_microbench forwards foreign flags this way).
+    EXPECT_EQ(cli.get_int("trails", 0), 5);
+    EXPECT_EQ(cli.get_int("trials", 0), 7);
+}
+
+TEST(Cli, WithoutVocabularyNothingIsUnknown) {
+    const Cli cli = make({"prog", "--whatever", "--and=this"});
+    EXPECT_TRUE(cli.unknown_flags().empty());
 }
 
 }  // namespace

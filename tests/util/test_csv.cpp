@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -66,8 +67,30 @@ TEST(CsvWriter, IntegerCells) {
     EXPECT_EQ(read_file(tmp.path), "-7,9\n");
 }
 
-TEST(CsvWriter, BadPathThrows) {
-    EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+TEST(CsvWriter, CreatesMissingParentDirectories) {
+    // Historically a missing directory made the open fail; the writer now
+    // creates the parents so figure CSVs land even in fresh workspaces.
+    const std::string dir = std::string(::testing::TempDir()) +
+                            "sfi_csv_test_dir/nested";
+    const std::string path = dir + "/file.csv";
+    std::filesystem::remove_all(std::string(::testing::TempDir()) +
+                                "sfi_csv_test_dir");
+    {
+        CsvWriter csv(path);
+        csv.row({1.0});
+        csv.close();
+    }
+    EXPECT_EQ(read_file(path), "1\n");
+    std::filesystem::remove_all(std::string(::testing::TempDir()) +
+                                "sfi_csv_test_dir");
+}
+
+TEST(CsvWriter, UnwritableTargetThrows) {
+    // A parent that exists but is a *file* cannot be turned into a
+    // directory: the constructor must still throw.
+    TempFile blocker("sfi_csv_test_blocker");
+    std::ofstream(blocker.path) << "occupied";
+    EXPECT_THROW(CsvWriter(blocker.path + "/file.csv"), std::runtime_error);
 }
 
 }  // namespace
