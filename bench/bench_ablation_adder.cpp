@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec =
         campaign::figures::ablation_adder(ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
 
     campaign::RunOptions options = ctx.campaign_options();
     options.on_panel_start = [](const campaign::PanelSpec& panel,

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec = campaign::figures::ablation_compression(
         ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
     for (campaign::PanelSpec& panel : spec.panels) panel.title.clear();
 
     campaign::RunOptions options = ctx.campaign_options();

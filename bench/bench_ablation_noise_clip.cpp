@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec = campaign::figures::ablation_noise_clip(
         ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
     for (campaign::PanelSpec& panel : spec.panels)
         panel.print_table = false;  // combined tables below instead
 

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec = campaign::figures::ablation_policy(
         ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
     for (campaign::PanelSpec& panel : spec.panels)
         panel.print_table = false;  // interleaved tables below instead
 

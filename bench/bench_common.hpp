@@ -6,6 +6,17 @@
 //                    hardware thread; results are bit-identical at any N)
 //   --dta-cycles N   DTA characterization kernel length (default 8192)
 //   --seed S         Monte-Carlo base seed
+//   --watchdog-factor F  watchdog limit as a multiple of the fault-free
+//                    kernel run time (default 8; finite, > 0)
+//   --sampling MODE  trial-budget policy for campaign points: "fixed"
+//                    (the paper's flat trial count, default), "ci"
+//                    (batches until the Wilson intervals are tighter than
+//                    --ci-target), "two-stage" (cheap screen, refine only
+//                    undecided points)
+//   --ci-target H    target Wilson half-width for adaptive sampling
+//                    (default 0.05; finite, > 0)
+//   --max-trials N   adaptive trial ceiling per point (default 1000)
+//   --batch N        trials per adaptive batch (default 25)
 //   --cache PATH     CDF cache file (default sfi_cdf_cache.bin in cwd)
 //   --store PATH     campaign point store (default sfi_point_store.bin;
 //                    completed Monte-Carlo points are persisted there and
@@ -17,11 +28,13 @@
 // Flags outside this set (plus a bench's declared extras) produce a
 // warning on stderr but are still parsed — typos like `--trails` no
 // longer pass silently, while binaries that forward foreign flags keep
-// working. Negative --trials/--seed/--dta-cycles are rejected with a
-// clear message instead of wrapping to huge unsigned values (the same
-// rationale as Cli::get_threads's clamping).
+// working. Negative --trials/--seed/--dta-cycles and non-finite or
+// non-positive --watchdog-factor/--ci-target are rejected with a clear
+// message instead of running a nonsense experiment (the same rationale
+// as Cli::get_threads's clamping).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -37,7 +50,9 @@ namespace sfi::bench {
 inline std::vector<std::string> known_flags(std::vector<std::string> extra) {
     std::vector<std::string> known = {"trials", "threads", "dta-cycles",
                                       "seed",   "cache",   "store",
-                                      "no-store", "csv-dir", "no-csv"};
+                                      "no-store", "csv-dir", "no-csv",
+                                      "watchdog-factor", "sampling",
+                                      "ci-target", "max-trials", "batch"};
     known.insert(known.end(), std::make_move_iterator(extra.begin()),
                  std::make_move_iterator(extra.end()));
     return known;
@@ -49,6 +64,8 @@ struct Context {
     std::size_t trials = 0;
     std::uint64_t seed = 1;
     std::size_t threads = 0;
+    double watchdog_factor = 8.0;
+    sampling::SamplingPolicy sampling;
     std::string csv_dir;
     std::string store_path;
     std::chrono::steady_clock::time_point start =
@@ -66,6 +83,8 @@ struct Context {
             checked_uint("trials", static_cast<std::uint64_t>(default_trials)));
         seed = checked_uint("seed", 1);
         threads = cli.get_threads();
+        watchdog_factor = checked_positive_double("watchdog-factor", 8.0);
+        sampling = parse_sampling_policy();
         core_config.dta.cycles =
             static_cast<std::size_t>(checked_uint("dta-cycles", 8192));
         core_config.cdf_cache_path = cli.get("cache", "sfi_cdf_cache.bin");
@@ -97,8 +116,17 @@ struct Context {
         McConfig config;
         config.trials = trials;
         config.seed = seed;
+        config.watchdog_factor = watchdog_factor;
         config.threads = threads;  // parallel MC; output is bit-identical
         return config;
+    }
+
+    /// Applies the shared MC knobs (watchdog, sampling policy) that the
+    /// figure factories do not take as parameters. Campaign drivers call
+    /// this on every spec they build.
+    void apply_to(campaign::CampaignSpec& spec) const {
+        spec.watchdog_factor = watchdog_factor;
+        spec.sampling = sampling;
     }
 
     /// Store/CSV/threads wiring for a campaign run from this bench.
@@ -134,11 +162,62 @@ struct Context {
             std::exit(2);
         }
     }
+
+    /// get_positive_double with the same exit-2 contract: non-finite or
+    /// <= 0 --watchdog-factor/--ci-target values abort at parse time.
+    double checked_positive_double(const char* name, double def) const {
+        try {
+            return cli.get_positive_double(name, def);
+        } catch (const std::invalid_argument& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            std::exit(2);
+        }
+    }
+
+private:
+    sampling::SamplingPolicy parse_sampling_policy() const {
+        const std::string mode = cli.get("sampling", "fixed");
+        const auto kind = sampling::parse_sampling_kind(mode);
+        if (!kind) {
+            std::cerr << "error: --sampling must be one of fixed, ci, "
+                         "two-stage (got \"" << mode << "\")\n";
+            std::exit(2);
+        }
+        sampling::SamplingPolicy policy;
+        policy.kind = *kind;
+        policy.ci_half_width = checked_positive_double("ci-target", 0.05);
+        policy.max_trials =
+            static_cast<std::size_t>(checked_uint("max-trials", 1000));
+        policy.batch_size =
+            static_cast<std::size_t>(checked_uint("batch", 25));
+        if (policy.batch_size == 0 ||
+            (policy.adaptive() && policy.max_trials == 0)) {
+            std::cerr << "error: --batch and --max-trials must be positive\n";
+            std::exit(2);
+        }
+        policy.min_trials = std::min(policy.min_trials, policy.max_trials);
+        policy.screen_trials = std::min(policy.screen_trials, policy.max_trials);
+        return policy;
+    }
 };
 
 /// Frequencies spanning [lo, hi] with roughly `points` samples.
 inline std::vector<double> span(double lo, double hi, std::size_t points) {
     return linspace(lo, hi, points);
+}
+
+/// Maps a --benchmark flag value to its BenchmarkId; a typo prints the
+/// valid names and exits 2 (the Context::checked_* contract). Call it
+/// before producing any output so a bad flag cannot leave a partial
+/// report on stdout.
+inline BenchmarkId checked_benchmark(const std::string& name) {
+    for (const BenchmarkId id : all_benchmarks())
+        if (name == benchmark_name(id)) return id;
+    std::cerr << "error: --benchmark must be one of:";
+    for (const BenchmarkId id : all_benchmarks())
+        std::cerr << " " << benchmark_name(id);
+    std::cerr << " (got \"" << name << "\")\n";
+    std::exit(2);
 }
 
 }  // namespace sfi::bench

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec =
         campaign::figures::fig1(ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
     // The runner's generic heading is replaced by the historical header
     // with the runtime threshold/STA anchors.
     for (campaign::PanelSpec& panel : spec.panels) panel.title.clear();

@@ -8,7 +8,15 @@
 
 int main(int argc, char** argv) {
     using namespace sfi;
-    bench::Context ctx(argc, argv, /*default_trials=*/1);
+    // The walkthrough's operating point and demo kernel are flags (all in
+    // the known vocabulary, so typos warn instead of passing silently).
+    bench::Context ctx(argc, argv, /*default_trials=*/1,
+                       {"freq", "vdd", "sigma", "benchmark"});
+    const double freq_mhz = ctx.checked_positive_double("freq", 760.0);
+    const double vdd = ctx.checked_positive_double("vdd", 0.7);
+    const double sigma_mv = ctx.cli.get_double("sigma", 10.0);
+    const BenchmarkId bench_id =
+        bench::checked_benchmark(ctx.cli.get("benchmark", "mat_mult_8bit"));
     const CharacterizedCore core = ctx.make_core();
 
     std::cout << "Fig. 3 walkthrough: statistical FI simulation pipeline\n\n";
@@ -28,14 +36,14 @@ int main(int argc, char** argv) {
               << fmt_fixed(cdfs.setup_ps(), 1) << " ps\n";
     for (const ExClass cls : Alu::instruction_classes())
         std::cout << "            " << ex_class_name(cls)
-                  << ": dynamic f_max(0.7 V) = "
-                  << fmt_fixed(core.dynamic_fmax_mhz(cls, 0.7), 1) << " MHz\n";
+                  << ": dynamic f_max(" << fmt_fixed(vdd, 2) << " V) = "
+                  << fmt_fixed(core.dynamic_fmax_mhz(cls, vdd), 1) << " MHz\n";
 
     // (3) CDF scaling factor from clock frequency + supply voltage noise
     OperatingPoint point;
-    point.freq_mhz = 760.0;
-    point.vdd = 0.7;
-    point.noise.sigma_mv = 10.0;
+    point.freq_mhz = freq_mhz;
+    point.vdd = vdd;
+    point.noise.sigma_mv = sigma_mv;
     const VddDelayFit& fit = core.lib().fit();
     std::cout << "[scaling]   f = " << fmt_fixed(point.freq_mhz, 0)
               << " MHz, Vdd = " << fmt_fixed(point.vdd, 2)
@@ -60,7 +68,7 @@ int main(int argc, char** argv) {
     auto model = core.make_model_c();
     model->set_operating_point(point);
     model->reseed(ctx.seed);
-    const auto bench = make_benchmark(BenchmarkId::MatMult8);
+    const auto bench = make_benchmark(bench_id);
     MonteCarloRunner runner(*bench, *model, ctx.mc_config());
     const TrialOutcome outcome = runner.run_trial(point, 0);
     std::cout << "[ISS]       " << bench->name() << ": "

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec =
         campaign::figures::fig4(ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
     for (campaign::PanelSpec& panel : spec.panels)
         panel.print_table = false;  // combined table below instead
 

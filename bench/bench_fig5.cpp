@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec = campaign::figures::fig5(
         ctx.core_config, ctx.trials, ctx.seed, points);
+    ctx.apply_to(spec);
     for (campaign::PanelSpec& panel : spec.panels) panel.title.clear();
 
     campaign::RunOptions options = ctx.campaign_options();

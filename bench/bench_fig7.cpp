@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
     campaign::CampaignSpec spec =
         campaign::figures::fig7(ctx.core_config, ctx.trials, ctx.seed);
+    ctx.apply_to(spec);
     for (campaign::PanelSpec& panel : spec.panels)
         panel.print_table = false;  // power-normalized table below instead
 

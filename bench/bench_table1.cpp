@@ -4,11 +4,19 @@
 // EXPERIMENTS.md for the comparison).
 #include "bench_common.hpp"
 
+#include <optional>
+
 #include "apps/profile.hpp"
 
 int main(int argc, char** argv) {
     using namespace sfi;
-    bench::Context ctx(argc, argv, /*default_trials=*/1);
+    // --benchmark NAME restricts the table to one kernel (declared in the
+    // known-flag vocabulary so an unknown flag warns instead of passing
+    // silently; a bad name exits 2 before any output).
+    bench::Context ctx(argc, argv, /*default_trials=*/1, {"benchmark"});
+    std::optional<BenchmarkId> only;
+    if (ctx.cli.has("benchmark"))
+        only = bench::checked_benchmark(ctx.cli.get("benchmark", ""));
 
     std::cout << "Table 1: overview of benchmark properties\n\n";
     TextTable table({"benchmark", "type", "compute", "control", "size",
@@ -18,6 +26,7 @@ int main(int argc, char** argv) {
     Memory memory;
     Cpu cpu(memory);
     for (const BenchmarkId id : all_benchmarks()) {
+        if (only && id != *only) continue;
         const auto bench = make_benchmark(id);
         cpu.reset(bench->program());
         const RunResult run = cpu.run();

@@ -4,7 +4,10 @@
 
 int main(int argc, char** argv) {
     using namespace sfi;
-    bench::Context ctx(argc, argv, /*default_trials=*/1);
+    // --sigma sets the supply noise used to exhibit the B+/C noise
+    // features (declared extra flag; > 0 keeps B+ reporting as B+).
+    bench::Context ctx(argc, argv, /*default_trials=*/1, {"sigma"});
+    const double sigma_mv = ctx.checked_positive_double("sigma", 10.0);
     ctx.core_config.dta.cycles = 256;  // features only; keep startup instant
     const CharacterizedCore core = ctx.make_core();
 
@@ -14,7 +17,7 @@ int main(int argc, char** argv) {
     auto model_c = core.make_model_c();
 
     OperatingPoint noisy;
-    noisy.noise.sigma_mv = 10.0;
+    noisy.noise.sigma_mv = sigma_mv;
     model_bp->set_operating_point(noisy);  // B with noise reports as B+
     model_c->set_operating_point(noisy);
 

@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
     for (const std::string& name : selected) {
         campaign::CampaignSpec spec = campaign::figures::make_figure(
             name, ctx.core_config, ctx.trials, ctx.seed);
+        ctx.apply_to(spec);  // --watchdog-factor / --sampling / --ci-target
         campaign::RunOptions options = ctx.campaign_options();
         options.cancelled = [] { return g_interrupted != 0; };
         std::cout << "=== campaign " << name << " ===\n";

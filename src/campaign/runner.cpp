@@ -10,6 +10,7 @@
 #include "isa/isa.hpp"
 #include "mc/report.hpp"
 #include "mc/sweep.hpp"
+#include "sampling/search.hpp"
 #include "timing/dta.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -124,10 +125,14 @@ CampaignRunner::ResolvedPanel CampaignRunner::resolve_panel(
     if (panel.base_freq_sta_factor)
         resolved.base.freq_mhz = *panel.base_freq_sta_factor *
                                  panel_core.sta_fmax_mhz(resolved.base.vdd);
-    resolved.axis_values =
-        resolve(panel.grid, panel_core, resolved.base.vdd, [&] {
-            return first_fault_mhz(panel_core, panel.model, resolved.base);
-        });
+    // PoFF-search panels pick their own probe frequencies; the (ignored)
+    // grid is not resolved, so e.g. a leftover FirstFaultWindow grid on a
+    // model-C panel cannot make the search throw.
+    if (!panel.poff)
+        resolved.axis_values =
+            resolve(panel.grid, panel_core, resolved.base.vdd, [&] {
+                return first_fault_mhz(panel_core, panel.model, resolved.base);
+            });
     return resolved;
 }
 
@@ -225,6 +230,27 @@ PointSummary CampaignRunner::compute_op_stream_point(
 PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
     PanelResult result;
     result.name = panel.name;
+    result.axis = panel.axis;
+
+    const sampling::SamplingPolicy& policy = effective_sampling(spec_, panel);
+    if (panel.kernel.kind != KernelSpec::Kind::Benchmark) {
+        // OpStream trials are single ALU operations — there is no budget
+        // for adaptive stopping to save, so the campaign-level policy is
+        // simply not applied. An explicit per-panel request is a spec
+        // error, not something to ignore.
+        if (panel.sampling && panel.sampling->adaptive())
+            throw std::invalid_argument(
+                "PanelSpec '" + panel.name +
+                "': adaptive sampling requires a Benchmark kernel");
+        if (panel.poff)
+            throw std::invalid_argument(
+                "PanelSpec '" + panel.name +
+                "': PoFF search requires a Benchmark kernel");
+    }
+    if (panel.poff && panel.axis != Axis::Frequency)
+        throw std::invalid_argument(
+            "PanelSpec '" + panel.name +
+            "': PoFF search bisects frequency; axis must be Frequency");
 
     const CharacterizedCore& panel_core = core_for(panel);
     const std::uint64_t core_fp = panel_core.fingerprint();
@@ -240,6 +266,7 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
     std::unique_ptr<Benchmark> bench;
     std::unique_ptr<FaultModel> model;
     std::unique_ptr<MonteCarloRunner> mc;
+    std::unique_ptr<sampling::BatchedExecutor> executor;
     const auto ensure_executor = [&] {
         if (model) return;
         model = make_model(panel, panel_core);
@@ -252,36 +279,65 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
             config.watchdog_factor = spec_.watchdog_factor;
             config.threads = options_.threads;
             mc = std::make_unique<MonteCarloRunner>(*bench, *model, config);
+            executor = std::make_unique<sampling::BatchedExecutor>(
+                *mc, options_.threads);
         }
     };
 
-    result.sweep.reserve(axis_values.size());
-    for (const double value : axis_values) {
-        if (options_.cancelled && options_.cancelled()) {
-            result.completed = false;
-            return result;
-        }
-        OperatingPoint point = base;
-        if (panel.axis == Axis::Frequency)
-            point.freq_mhz = value;
-        else
-            point.vdd = value;
-
+    // Store-backed point computation shared by the grid sweep and the
+    // PoFF probes: every completed summary is keyed (with the policy
+    // fingerprint when adaptive) and persisted before the next one runs.
+    const auto compute_point = [&](const OperatingPoint& point) {
         const std::uint64_t key = point_key(spec_, panel, core_fp, point);
         if (auto stored = store_.lookup(key)) {
             ++result.store_hits;
-            result.sweep.push_back(std::move(*stored));
-            continue;
+            return std::move(*stored);
         }
         ensure_executor();
         PointSummary summary =
             panel.kernel.kind == KernelSpec::Kind::Benchmark
-                ? mc->run_point(point)
+                ? sampling::run_point_sequential(*executor, point, policy,
+                                                 spec_.trials)
+                      .summary
                 : compute_op_stream_point(panel, *model, point);
         store_.insert(key, summary);
         ++result.store_misses;
-        result.sweep.push_back(std::move(summary));
+        return summary;
+    };
+
+    if (panel.poff) {
+        sampling::PoffSearchConfig search;
+        const double fsta = panel_core.sta_fmax_mhz(base.vdd);
+        search.lo_mhz = panel.poff->lo_factor * fsta;
+        search.hi_mhz = panel.poff->hi_factor * fsta;
+        search.tol_mhz = panel.poff->tol_mhz;
+        search.max_expand = panel.poff->max_expand;
+        search.cancelled = options_.cancelled;
+        const sampling::PoffSearchResult found =
+            sampling::find_poff_bisection(compute_point, base, search);
+        result.sweep = found.sweep;
+        result.completed = !found.cancelled;
+        result.poff = PoffOutcome{found.bracketed, found.lo_mhz,
+                                  found.hi_mhz, found.pass_risk,
+                                  found.probes};
+    } else {
+        result.sweep.reserve(axis_values.size());
+        for (const double value : axis_values) {
+            if (options_.cancelled && options_.cancelled()) {
+                result.completed = false;
+                break;
+            }
+            OperatingPoint point = base;
+            if (panel.axis == Axis::Frequency)
+                point.freq_mhz = value;
+            else
+                point.vdd = value;
+            result.sweep.push_back(compute_point(point));
+        }
     }
+    for (const PointSummary& summary : result.sweep)
+        result.trials_spent += summary.trials;
+    if (!result.completed) return result;
 
     if (options_.console && panel.print_table) {
         std::ostream& os = *options_.console;
@@ -289,7 +345,21 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
         // on_panel_start).
         if (!panel.title.empty()) os << panel.title << "\n";
         print_sweep(os, "", result.sweep, panel.error_label);
-        if (panel.axis == Axis::Frequency) {
+        if (result.poff) {
+            const double fsta = panel_core.sta_fmax_mhz(base.vdd);
+            if (result.poff->bracketed)
+                os << "PoFF in (" << fmt_fixed(result.poff->lo_mhz, 1) << ", "
+                   << fmt_fixed(result.poff->hi_mhz, 1) << "] MHz (bisection, "
+                   << result.poff->probes << " probes, "
+                   << result.trials_spent << " trials), gain "
+                   << fmt_fixed(
+                          poff_gain_percent(result.poff->hi_mhz, fsta), 1)
+                   << "% over STA (" << fmt_fixed(fsta, 1) << " MHz)\n";
+            else
+                os << "PoFF not bracketed in ["
+                   << fmt_fixed(result.poff->lo_mhz, 1) << ", "
+                   << fmt_fixed(result.poff->hi_mhz, 1) << "] MHz\n";
+        } else if (panel.axis == Axis::Frequency) {
             const double fsta = panel_core.sta_fmax_mhz(base.vdd);
             if (const auto poff = find_poff_mhz(result.sweep))
                 os << "PoFF = " << fmt_fixed(*poff, 1) << " MHz, gain "
@@ -382,8 +452,28 @@ void CampaignRunner::write_manifest(CampaignResult& result) {
         if (!first) os << ",\n";
         first = false;
         os << "    {\"name\": \"" << json_escape(panel.name)
-           << "\", \"kind\": \"mc\", \"points\": " << panel.sweep.size()
-           << ", \"csv\": \""
+           << "\", \"kind\": \"" << (panel.poff ? "poff" : "mc")
+           << "\", \"points\": " << panel.sweep.size()
+           << ", \"trials_spent\": " << panel.trials_spent;
+        // The PoFF crossing (paper §4.2): dense frequency panels report
+        // the grid estimate, bisection panels the bracket — both land in
+        // the stable part, they are pure functions of the spec.
+        if (panel.poff) {
+            const PoffOutcome& poff = *panel.poff;
+            os << ", \"poff_bracketed\": "
+               << (poff.bracketed ? "true" : "false");
+            if (poff.bracketed)
+                os << ", \"poff_lo_mhz\": " << format_double(poff.lo_mhz)
+                   << ", \"poff_hi_mhz\": " << format_double(poff.hi_mhz)
+                   << ", \"poff_mhz\": " << format_double(poff.hi_mhz)
+                   << ", \"probes\": " << poff.probes;
+        } else if (panel.axis == Axis::Frequency && !panel.sweep.empty()) {
+            if (const auto poff = find_poff_mhz(panel.sweep))
+                os << ", \"poff_mhz\": " << format_double(*poff);
+            else
+                os << ", \"poff_mhz\": null";
+        }
+        os << ", \"csv\": \""
            << json_escape(
                   std::filesystem::path(panel.csv_path).filename().string())
            << "\"}";
@@ -402,6 +492,7 @@ void CampaignRunner::write_manifest(CampaignResult& result) {
     os << "  \"run\": {\"store_path\": \"" << json_escape(options_.store_path)
        << "\", \"store_hits\": " << result.store_hits
        << ", \"store_misses\": " << result.store_misses
+       << ", \"trials_spent\": " << result.trials_spent
        << ", \"store_recovered_bytes\": " << store_.recovered_bytes()
        << ", \"threads\": " << options_.threads
        << ", \"wall_clock_s\": " << format_double(result.wall_s)
@@ -432,6 +523,7 @@ CampaignResult CampaignRunner::run() {
         PanelResult panel_result = run_panel(panel);
         result.store_hits += panel_result.store_hits;
         result.store_misses += panel_result.store_misses;
+        result.trials_spent += panel_result.trials_spent;
         const bool completed = panel_result.completed;
         result.panels.push_back(std::move(panel_result));
         if (!completed) {

@@ -13,6 +13,15 @@
 // determinism contract a stored summary equals a recomputed one bit for
 // bit, which makes a warm re-run's CSV output byte-identical to a cold
 // run's — the resume guarantee, enforced by tests/campaign/ and CI.
+//
+// Benchmark-kernel points execute through the adaptive sampling engine
+// (src/sampling/): a fixed-N policy runs through the batched executor and
+// stays byte-identical to the historical run_point path, while adaptive
+// policies (CampaignSpec::sampling / PanelSpec::sampling) stop early once
+// the Wilson intervals are tight enough, and PoffSearchSpec panels
+// replace their grid with a store-backed bisection search. Adaptive
+// summaries are keyed with the policy fingerprint so they never collide
+// with fixed-N points.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +29,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,11 +62,29 @@ struct RunOptions {
         on_panel_start;
 };
 
+/// Outcome of a PoffSearchSpec panel: the bisection bracket around the
+/// point of first failure (the PoFF lies in (lo, hi]).
+struct PoffOutcome {
+    bool bracketed = false;
+    double lo_mhz = 0.0;
+    double hi_mhz = 0.0;
+    double pass_risk = 0.0;  ///< residual risk the PoFF is at/below lo
+    std::size_t probes = 0;
+};
+
 struct PanelResult {
     std::string name;
+    Axis axis = Axis::Frequency;  ///< what the sweep varies (from the spec)
     std::vector<PointSummary> sweep;
     std::size_t store_hits = 0;
     std::size_t store_misses = 0;
+    /// Monte-Carlo trials the sweep's summaries aggregate (store hits
+    /// included — the number is a pure function of the spec, so warm and
+    /// cold runs report the same budget). This is what the adaptive
+    /// policies shrink; the manifest records it per panel so the saving
+    /// is auditable.
+    std::uint64_t trials_spent = 0;
+    std::optional<PoffOutcome> poff;  ///< set for PoffSearchSpec panels
     std::string csv_path;    ///< "" when CSV is disabled or panel incomplete
     bool completed = true;   ///< false when the campaign was cancelled mid-panel
 };
@@ -75,6 +103,7 @@ struct CampaignResult {
     std::vector<CdfPanelResult> cdf_panels;
     std::size_t store_hits = 0;
     std::size_t store_misses = 0;
+    std::uint64_t trials_spent = 0;  ///< sum over the MC panels
     double wall_s = 0.0;
     bool completed = true;
     std::string manifest_path;  ///< "" when no manifest was written

@@ -123,7 +123,25 @@ void mix_grid(Fingerprint& fp, const GridSpec& grid) {
     fp.mix(grid.step);
 }
 
+void mix_poff(Fingerprint& fp, const PoffSearchSpec& poff) {
+    fp.mix(poff.lo_factor);
+    fp.mix(poff.hi_factor);
+    fp.mix(poff.tol_mhz);
+    fp.mix(poff.max_expand);
+}
+
 }  // namespace
+
+const sampling::SamplingPolicy& effective_sampling(const CampaignSpec& campaign,
+                                                   const PanelSpec& panel) {
+    // OpStream panels always run the fixed trial count (the runner
+    // rejects explicit adaptive requests on them), so a campaign-wide
+    // adaptive policy must not leak into their point keys — the points
+    // are the same physics under any policy.
+    static const sampling::SamplingPolicy fixed_n;
+    if (panel.kernel.kind != KernelSpec::Kind::Benchmark) return fixed_n;
+    return panel.sampling ? *panel.sampling : campaign.sampling;
+}
 
 std::uint64_t CampaignSpec::fingerprint() const {
     Fingerprint fp;
@@ -133,6 +151,7 @@ std::uint64_t CampaignSpec::fingerprint() const {
     fp.mix(trials);
     fp.mix(seed);
     fp.mix(watchdog_factor);
+    fp.mix(sampling.fingerprint());
     fp.mix(panels.size());
     for (const PanelSpec& panel : panels) {
         fp.mix(panel.name);
@@ -146,6 +165,10 @@ std::uint64_t CampaignSpec::fingerprint() const {
         fp.mix(panel.core_override ? core_config_fingerprint(*panel.core_override)
                                    : std::uint64_t{0});
         fp.mix(panel.base_freq_sta_factor.value_or(0.0));
+        fp.mix(panel.sampling ? panel.sampling->fingerprint()
+                              : std::uint64_t{0});
+        fp.mix(panel.poff.has_value());
+        if (panel.poff) mix_poff(fp, *panel.poff);
     }
     fp.mix(cdf_panels.size());
     for (const CdfPanelSpec& panel : cdf_panels) {
@@ -174,6 +197,11 @@ std::uint64_t point_key(const CampaignSpec& campaign, const PanelSpec& panel,
     fp.mix(campaign.trials);
     fp.mix(campaign.seed + panel.seed_offset);
     fp.mix(campaign.watchdog_factor);
+    // Adaptive policies decide the summary's trial count, so they are
+    // part of the point's identity; fixed-N mixes nothing, keeping every
+    // pre-adaptive store byte-compatible.
+    const sampling::SamplingPolicy& policy = effective_sampling(campaign, panel);
+    if (policy.adaptive()) fp.mix(policy.fingerprint());
     return fp.value();
 }
 

@@ -24,6 +24,7 @@
 #include "apps/benchmark.hpp"
 #include "fi/core_model.hpp"
 #include "fi/models.hpp"
+#include "sampling/sequential.hpp"
 
 namespace sfi::campaign {
 
@@ -91,6 +92,18 @@ struct KernelSpec {
                                 std::uint64_t operand_seed);
 };
 
+/// Symbolic PoFF bisection search (src/sampling/search.hpp) in panel
+/// form: instead of sweeping a grid, the runner brackets and bisects the
+/// point of first failure between lo_factor and hi_factor times the STA
+/// limit at the panel's base Vdd. Frequency-axis Benchmark panels only —
+/// bisection relies on failure being monotone in frequency.
+struct PoffSearchSpec {
+    double lo_factor = 0.9;   ///< bracket lo = lo_factor * f_STA(base.vdd)
+    double hi_factor = 1.2;   ///< bracket hi = hi_factor * f_STA(base.vdd)
+    double tol_mhz = 2.0;     ///< stop once the bracket is this tight
+    std::size_t max_expand = 4;  ///< outward slides per disagreeing edge
+};
+
 /// One figure panel: a sweep of points for one kernel under one model.
 struct PanelSpec {
     std::string name;   ///< CSV stem and manifest key (unique per campaign)
@@ -114,6 +127,17 @@ struct PanelSpec {
     /// factor * f_STA(base.vdd) — Fig. 7 pins its voltage sweep to the
     /// nominal STA limit this way.
     std::optional<double> base_freq_sta_factor;
+    /// Per-panel sampling policy; unset = the campaign-level policy.
+    /// Benchmark kernels only — OpStream panels always run the campaign's
+    /// fixed trial count (their trials are microseconds, not seconds, so
+    /// adaptive stopping has nothing to save), and explicitly setting an
+    /// adaptive policy on one is rejected at run time.
+    std::optional<sampling::SamplingPolicy> sampling;
+    /// When set, the panel runs a bisection PoFF search instead of
+    /// sweeping `grid` (which is ignored): the probe summaries become the
+    /// panel sweep/CSV and the PoFF interval lands in the result and the
+    /// manifest. Requires axis == Frequency and a Benchmark kernel.
+    std::optional<PoffSearchSpec> poff;
     /// Error-metric label of the console table ("rel. error %", "MSE", ...).
     std::string error_label = "rel. error %";
     /// Print the figure-panel table + PoFF line while running (drivers
@@ -145,6 +169,9 @@ struct CampaignSpec {
     std::size_t trials = 100;
     std::uint64_t seed = 1;
     double watchdog_factor = 8.0;
+    /// Campaign-wide sampling policy (paper default: fixed trials).
+    /// Panels override it via PanelSpec::sampling.
+    sampling::SamplingPolicy sampling;
     std::vector<PanelSpec> panels;
     std::vector<CdfPanelSpec> cdf_panels;
 
@@ -154,11 +181,20 @@ struct CampaignSpec {
     std::uint64_t fingerprint() const;
 };
 
+/// The sampling policy a panel actually runs under (its own, or the
+/// campaign's).
+const sampling::SamplingPolicy& effective_sampling(const CampaignSpec& campaign,
+                                                   const PanelSpec& panel);
+
 /// Content address of one completed point in the store: hashes exactly
 /// the inputs that determine its PointSummary — the effective core
 /// fingerprint, the model, the kernel, the *resolved* operating point,
 /// trials / seed (+ panel offset) / watchdog — and a format-version
-/// salt. Panel names, titles and grid symbolism are deliberately
+/// salt. An *adaptive* sampling policy (kind != FixedN) additionally
+/// mixes its fingerprint, because the policy decides how many trials the
+/// summary aggregates; fixed-N keys mix nothing extra, so they are
+/// byte-compatible with every store written before the sampling engine
+/// existed. Panel names, titles and grid symbolism are deliberately
 /// excluded: equal physics means equal key, so re-described campaigns
 /// still hit.
 std::uint64_t point_key(const CampaignSpec& campaign, const PanelSpec& panel,

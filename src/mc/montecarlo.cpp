@@ -81,7 +81,13 @@ PointSummary summarize_trials(const OperatingPoint& point,
                               const std::vector<TrialOutcome>& outcomes) {
     PointSummary summary;
     summary.point = point;
-    summary.trials = outcomes.size();
+    accumulate_trials(summary, outcomes);
+    return summary;
+}
+
+void accumulate_trials(PointSummary& summary,
+                       const std::vector<TrialOutcome>& outcomes) {
+    summary.trials += outcomes.size();
     for (const TrialOutcome& outcome : outcomes) {
         if (outcome.finished) {
             ++summary.finished_count;
@@ -90,9 +96,11 @@ PointSummary summarize_trials(const OperatingPoint& point,
         }
         summary.fi_rate_stats.add(outcome.fi.fi_per_kcycle());
     }
+    // The derived means are pure functions of the accumulators, so
+    // refreshing them after every block leaves the final values identical
+    // to a single-pass summarize_trials.
     summary.fi_rate = summary.fi_rate_stats.mean();
     summary.mean_error = summary.error_stats.mean();
-    return summary;
 }
 
 }  // namespace sfi

@@ -136,4 +136,13 @@ private:
 PointSummary summarize_trials(const OperatingPoint& point,
                               const std::vector<TrialOutcome>& outcomes);
 
+/// Folds `outcomes` (a contiguous trial-index block, in index order) into
+/// an existing summary with the exact accumulation sequence of
+/// summarize_trials, then refreshes the derived means. Feeding the blocks
+/// of a trial prefix in order therefore reproduces summarize_trials over
+/// that prefix bit for bit — the foundation of the batched executor's
+/// determinism contract (src/sampling/batch.hpp).
+void accumulate_trials(PointSummary& summary,
+                       const std::vector<TrialOutcome>& outcomes);
+
 }  // namespace sfi

@@ -70,32 +70,48 @@ void for_each_trial(std::size_t trials, std::size_t threads,
     if (error) std::rethrow_exception(error);
 }
 
+std::vector<std::unique_ptr<TrialContext>> make_trial_contexts(
+    const MonteCarloRunner& runner, std::size_t threads) {
+    threads = std::max<std::size_t>(resolve_thread_count(threads), 1);
+    std::vector<std::unique_ptr<TrialContext>> contexts;
+    contexts.reserve(threads);
+    for (std::size_t index = 0; index < threads; ++index)
+        contexts.push_back(std::make_unique<TrialContext>(runner.benchmark(),
+                                                          runner.model()));
+    return contexts;
+}
+
+std::vector<TrialOutcome> run_trial_block(
+    const MonteCarloRunner& runner, const OperatingPoint& point,
+    std::uint64_t first_trial, std::size_t count,
+    const std::vector<std::unique_ptr<TrialContext>>& contexts) {
+    const std::size_t threads =
+        std::clamp<std::size_t>(contexts.size(), 1,
+                                std::max<std::size_t>(count, 1));
+
+    // Small chunks keep workers balanced across the clean-run/watchdog-run
+    // cost spread; 8 grabs per worker amortizes the counter traffic.
+    const std::size_t chunk = std::max<std::size_t>(count / (threads * 8), 1);
+
+    std::vector<TrialOutcome> outcomes(count);
+    for_each_trial(count, threads, chunk,
+                   [&](std::size_t worker, std::uint64_t offset) {
+                       TrialContext& context = *contexts[worker];
+                       outcomes[offset] = runner.run_trial_with(
+                           context.cpu, *context.model, point,
+                           first_trial + offset);
+                   });
+    return outcomes;
+}
+
 std::vector<TrialOutcome> run_trials_parallel(const MonteCarloRunner& runner,
                                               const OperatingPoint& point,
                                               std::size_t threads) {
     const std::size_t trials = runner.config().trials;
     threads = std::clamp<std::size_t>(resolve_thread_count(threads), 1,
                                       std::max<std::size_t>(trials, 1));
-
-    std::vector<std::unique_ptr<TrialContext>> contexts;
-    contexts.reserve(threads);
-    for (std::size_t index = 0; index < threads; ++index)
-        contexts.push_back(std::make_unique<TrialContext>(runner.benchmark(),
-                                                          runner.model()));
-
-    // Small chunks keep workers balanced across the clean-run/watchdog-run
-    // cost spread; 8 grabs per worker amortizes the counter traffic.
-    const std::size_t chunk =
-        std::max<std::size_t>(trials / (threads * 8), 1);
-
-    std::vector<TrialOutcome> outcomes(trials);
-    for_each_trial(trials, threads, chunk,
-                   [&](std::size_t worker, std::uint64_t trial) {
-                       TrialContext& context = *contexts[worker];
-                       outcomes[trial] = runner.run_trial_with(
-                           context.cpu, *context.model, point, trial);
-                   });
-    return outcomes;
+    return run_trial_block(runner, point, 0, trials,
+                           make_trial_contexts(runner, threads));
 }
 
 }  // namespace sfi

@@ -65,4 +65,23 @@ std::vector<TrialOutcome> run_trials_parallel(const MonteCarloRunner& runner,
                                               const OperatingPoint& point,
                                               std::size_t threads);
 
+/// Builds one TrialContext per worker for `runner`'s benchmark/model —
+/// the reusable half of run_trials_parallel, split out so the batched
+/// executor (src/sampling/batch.hpp) can keep the contexts alive across
+/// many trial blocks instead of re-cloning the model per batch.
+std::vector<std::unique_ptr<TrialContext>> make_trial_contexts(
+    const MonteCarloRunner& runner, std::size_t threads);
+
+/// Runs the contiguous trial block [first_trial, first_trial + count) at
+/// `point` over `contexts` (one worker per context; fewer are used when
+/// count is small) and returns the outcomes indexed relative to the
+/// block start. Trial indices keep their absolute meaning — trial i
+/// draws from the (seed, i) stream wherever the block boundaries fall —
+/// so the union of consecutive blocks is exactly what one call over the
+/// whole range would have produced.
+std::vector<TrialOutcome> run_trial_block(
+    const MonteCarloRunner& runner, const OperatingPoint& point,
+    std::uint64_t first_trial, std::size_t count,
+    const std::vector<std::unique_ptr<TrialContext>>& contexts);
+
 }  // namespace sfi

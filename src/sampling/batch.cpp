@@ -1,0 +1,43 @@
+#include "sampling/batch.hpp"
+
+namespace sfi::sampling {
+
+BatchedExecutor::BatchedExecutor(const MonteCarloRunner& runner,
+                                 std::size_t threads)
+    : runner_(&runner), contexts_(make_trial_contexts(runner, threads)) {}
+
+void BatchedExecutor::run_batch(PointSummary& summary,
+                                const OperatingPoint& point,
+                                std::size_t count) {
+    if (count == 0) return;
+    const std::vector<TrialOutcome> outcomes =
+        run_trial_block(*runner_, point, summary.trials, count, contexts_);
+    accumulate_trials(summary, outcomes);
+}
+
+PointSummary BatchedExecutor::run_fixed(const OperatingPoint& point,
+                                        std::size_t trials,
+                                        std::size_t batch_size) {
+    if (batch_size == 0) batch_size = trials ? trials : 1;
+    PointSummary summary;
+    summary.point = point;
+    while (summary.trials < trials)
+        run_batch(summary, point,
+                  std::min(batch_size, trials - summary.trials));
+    return summary;
+}
+
+PointSummary merge_point_summaries(const PointSummary& a,
+                                   const PointSummary& b) {
+    PointSummary out = a;
+    out.trials += b.trials;
+    out.finished_count += b.finished_count;
+    out.correct_count += b.correct_count;
+    out.error_stats.merge(b.error_stats);
+    out.fi_rate_stats.merge(b.fi_rate_stats);
+    out.fi_rate = out.fi_rate_stats.mean();
+    out.mean_error = out.error_stats.mean();
+    return out;
+}
+
+}  // namespace sfi::sampling

@@ -36,6 +36,9 @@
 #include "mc/sweep.hpp"
 #include "netlist/netlist.hpp"
 #include "power/power_model.hpp"
+#include "sampling/batch.hpp"
+#include "sampling/search.hpp"
+#include "sampling/sequential.hpp"
 #include "timing/calibration.hpp"
 #include "timing/const_prop.hpp"
 #include "timing/dta.hpp"

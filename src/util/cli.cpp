@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -83,6 +84,20 @@ std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t def) const {
         throw std::invalid_argument("--" + name + " must be a non-negative "
                                     "integer (got \"" + text + "\")");
     return static_cast<std::uint64_t>(value);
+}
+
+double Cli::get_positive_double(const std::string& name, double def) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return def;
+    const std::string& text = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(value) || value <= 0.0)
+        throw std::invalid_argument("--" + name + " must be a finite "
+                                    "positive number (got \"" + text + "\")");
+    return value;
 }
 
 std::size_t Cli::get_threads(std::size_t def) const {

@@ -34,6 +34,14 @@ public:
     /// full std::uint64_t range (seeds are arbitrary 64-bit values).
     std::uint64_t get_uint(const std::string& name, std::uint64_t def) const;
 
+    /// Strict parser for quantities that must be finite and strictly
+    /// positive (--watchdog-factor, --ci-target): "nan", "inf", zero or
+    /// negative values would silently disarm the watchdog or turn the
+    /// adaptive stopping rule into an infinite loop, so they throw
+    /// std::invalid_argument naming the flag — the same contract as
+    /// get_uint.
+    double get_positive_double(const std::string& name, double def) const;
+
     /// The shared `--threads` parser for McConfig::threads: non-negative
     /// worker count, where 0 means one worker per hardware thread.
     /// Negative values would wrap std::size_t to a huge count, so they are

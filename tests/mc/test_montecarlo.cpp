@@ -154,6 +154,43 @@ TEST(MonteCarloRunner, ConfidenceIntervalsBracketFractions) {
     EXPECT_DOUBLE_EQ(fin.hi, 1.0);
 }
 
+TEST(PointSummaryWilson, CiValuesAtZeroHalfAndAllSuccesses) {
+    // The three canonical operating regimes of a sweep point — never
+    // correct, coin-flip, always correct — against the closed-form
+    // Wilson interval the sampling engine steers by.
+    const std::size_t n = 100;
+    PointSummary s;
+    s.trials = n;
+
+    s.finished_count = 0;
+    s.correct_count = 0;
+    Interval ci = s.correct_ci();
+    EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+    EXPECT_NEAR(ci.hi, 0.037, 0.001);  // z^2 / (n + z^2) at z = 1.96
+    EXPECT_DOUBLE_EQ(s.finished_ci().lo, 0.0);
+
+    s.correct_count = n / 2;
+    ci = s.correct_ci();
+    EXPECT_NEAR(ci.lo, 0.404, 0.002);  // the textbook p = 0.5, n = 100 case
+    EXPECT_NEAR(ci.hi, 0.596, 0.002);
+    EXPECT_NEAR(0.5 * (ci.lo + ci.hi), 0.5, 1e-12);  // symmetric at p = 1/2
+
+    s.correct_count = n;
+    ci = s.correct_ci();
+    EXPECT_NEAR(ci.lo, 1.0 - 0.037, 0.001);
+    EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+
+    // 0 and N successes give mirror-image intervals.
+    const Interval none = wilson_interval(0, n);
+    const Interval all = wilson_interval(n, n);
+    EXPECT_NEAR(none.hi, 1.0 - all.lo, 1e-12);
+
+    // Degenerate summary (no trials yet): the vacuous [0, 1] interval.
+    PointSummary empty;
+    EXPECT_DOUBLE_EQ(empty.correct_ci().lo, 0.0);
+    EXPECT_DOUBLE_EQ(empty.correct_ci().hi, 1.0);
+}
+
 TEST(MonteCarloRunner, ModelBHardThreshold) {
     const auto bench = make_benchmark(BenchmarkId::Median);
     auto model = shared_core().make_model_b();

@@ -173,6 +173,51 @@ TEST(PoffGain, SignedPercent) {
     EXPECT_DOUBLE_EQ(poff_gain_percent(707.0, 707.0), 0.0);
 }
 
+TEST(PoffGain, NegativeGainWhenNoisePushesPoffBelowSta) {
+    // Fig. 1(b/c): supply noise moves the PoFF below the STA limit, so
+    // the "gain" of frequency overscaling is negative. The extracted
+    // PoFF and the gain computation must compose for that case exactly
+    // like for the positive-gain one.
+    std::vector<PointSummary> sweep(4);
+    const double sta_mhz = 707.0;
+    for (int i = 0; i < 4; ++i) {
+        sweep[i].point.freq_mhz = 580.0 + i * 10.0;  // all below STA
+        sweep[i].trials = 80;
+        sweep[i].correct_count = 80;
+    }
+    sweep[2].correct_count = 79;  // first failure at 600 MHz
+    sweep[3].correct_count = 0;
+    const auto poff = find_poff_mhz(sweep);
+    ASSERT_TRUE(poff.has_value());
+    EXPECT_DOUBLE_EQ(*poff, 600.0);
+    const double gain = poff_gain_percent(*poff, sta_mhz);
+    EXPECT_LT(gain, 0.0);
+    EXPECT_NEAR(gain, 100.0 * (600.0 - 707.0) / 707.0, 1e-12);
+}
+
+TEST(PoffGain, AllPointsFailingSweepReportsTheLowestFrequency) {
+    // Deep overscaling (or a broken bracket guess): every swept point
+    // fails. PoFF degenerates to the lowest swept frequency and the gain
+    // is strongly negative — not an error, and not nullopt.
+    std::vector<PointSummary> sweep(3);
+    for (int i = 0; i < 3; ++i) {
+        sweep[i].point.freq_mhz = 750.0 - i * 25.0;  // descending order
+        sweep[i].trials = 10;
+        sweep[i].correct_count = 0;
+    }
+    const auto poff = find_poff_mhz(sweep);
+    ASSERT_TRUE(poff.has_value());
+    EXPECT_DOUBLE_EQ(*poff, 700.0);
+    EXPECT_LT(poff_gain_percent(*poff, 707.0), 0.0);
+
+    // The same sweep with zero-trial points: vacuous points (trials ==
+    // correct_count == 0) do not count as failures.
+    std::vector<PointSummary> empty_points(2);
+    empty_points[0].point.freq_mhz = 100.0;
+    empty_points[1].point.freq_mhz = 200.0;
+    EXPECT_FALSE(find_poff_mhz(empty_points).has_value());
+}
+
 TEST(Report, PrintSweepContainsMetrics) {
     PointSummary s;
     s.point.freq_mhz = 750.0;

@@ -1,0 +1,183 @@
+// Bisection PoFF search on synthetic probe functions: convergence to an
+// interval containing the true threshold, bracket expansion when the
+// initial guesses disagree, trial accounting, cancellation, and input
+// validation. (The end-to-end comparison against a dense-grid
+// find_poff_mhz on a real core lives in tests/campaign/test_adaptive.cpp.)
+#include "sampling/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mc/sweep.hpp"
+
+namespace sfi {
+namespace {
+
+using sampling::PoffSearchConfig;
+using sampling::PoffSearchResult;
+
+/// Deterministic step-function core: every trial correct strictly below
+/// `f_star`, one wrong trial at or above it.
+sampling::ProbeFn step_probe(double f_star, std::size_t trials = 20) {
+    return [f_star, trials](const OperatingPoint& point) {
+        PointSummary summary;
+        summary.point = point;
+        summary.trials = trials;
+        summary.finished_count = trials;
+        summary.correct_count =
+            point.freq_mhz < f_star ? trials : trials - 1;
+        return summary;
+    };
+}
+
+OperatingPoint base_point() {
+    OperatingPoint p;
+    p.vdd = 0.7;
+    p.noise.sigma_mv = 10.0;
+    return p;
+}
+
+TEST(PoffBisection, ConvergesToAnIntervalContainingTheThreshold) {
+    const double f_star = 713.7;
+    PoffSearchConfig config;
+    config.lo_mhz = 650.0;
+    config.hi_mhz = 800.0;
+    config.tol_mhz = 1.0;
+
+    const PoffSearchResult result =
+        find_poff_bisection(step_probe(f_star, 20), base_point(), config);
+    ASSERT_TRUE(result.bracketed);
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_LT(result.lo_mhz, f_star);
+    EXPECT_GE(result.hi_mhz, f_star);
+    EXPECT_LE(result.interval_width_mhz(), config.tol_mhz);
+    EXPECT_DOUBLE_EQ(result.poff_mhz(), result.hi_mhz);
+    // ~log2(150) + 2 bracket probes, nowhere near a 150-point grid.
+    EXPECT_LE(result.probes, 12u);
+    EXPECT_EQ(result.trials_spent, result.probes * 20u);
+    EXPECT_EQ(result.sweep.size(), result.probes);
+    for (std::size_t i = 1; i < result.sweep.size(); ++i)
+        EXPECT_LT(result.sweep[i - 1].point.freq_mhz,
+                  result.sweep[i].point.freq_mhz);
+    // The pass-side residual of an all-correct 20-trial probe.
+    const Interval all_pass = wilson_interval(20, 20);
+    EXPECT_DOUBLE_EQ(result.pass_risk, 1.0 - all_pass.lo);
+    // Consistency with the dense-grid extractor over the probe sweep:
+    // the lowest failing probe is exactly the reported hi.
+    const auto grid_poff = find_poff_mhz(result.sweep);
+    ASSERT_TRUE(grid_poff.has_value());
+    EXPECT_DOUBLE_EQ(*grid_poff, result.hi_mhz);
+}
+
+TEST(PoffBisection, ExpandsDownwardWhenBothEdgesFail) {
+    const double f_star = 500.0;
+    PoffSearchConfig config;
+    config.lo_mhz = 700.0;  // already failing
+    config.hi_mhz = 800.0;
+    config.tol_mhz = 2.0;
+
+    const PoffSearchResult result =
+        find_poff_bisection(step_probe(f_star), base_point(), config);
+    ASSERT_TRUE(result.bracketed);
+    EXPECT_LT(result.lo_mhz, f_star);
+    EXPECT_GE(result.hi_mhz, f_star);
+    EXPECT_LE(result.interval_width_mhz(), config.tol_mhz);
+}
+
+TEST(PoffBisection, ExpandsUpwardWhenBothEdgesPass) {
+    const double f_star = 1000.0;
+    PoffSearchConfig config;
+    config.lo_mhz = 700.0;
+    config.hi_mhz = 800.0;  // still passing
+    config.tol_mhz = 2.0;
+
+    const PoffSearchResult result =
+        find_poff_bisection(step_probe(f_star), base_point(), config);
+    ASSERT_TRUE(result.bracketed);
+    EXPECT_LT(result.lo_mhz, f_star);
+    EXPECT_GE(result.hi_mhz, f_star);
+}
+
+TEST(PoffBisection, ReportsUnbracketedWhenNothingEverFails) {
+    PoffSearchConfig config;
+    config.lo_mhz = 700.0;
+    config.hi_mhz = 800.0;
+    config.max_expand = 2;
+
+    const PoffSearchResult result = find_poff_bisection(
+        step_probe(1e9), base_point(), config);  // effectively never fails
+    EXPECT_FALSE(result.bracketed);
+    EXPECT_GT(result.probes, 0u);
+    ASSERT_FALSE(result.sweep.empty());
+    // The reported range is exactly what was probed — not the next
+    // (never-tested) expansion step.
+    EXPECT_DOUBLE_EQ(result.lo_mhz, result.sweep.front().point.freq_mhz);
+    EXPECT_DOUBLE_EQ(result.hi_mhz, result.sweep.back().point.freq_mhz);
+    EXPECT_GT(result.pass_risk, 0.0);  // the whole range passed: Wilson residual
+}
+
+TEST(PoffBisection, ReportsUnbracketedWhenEverythingFails) {
+    PoffSearchConfig config;
+    config.lo_mhz = 700.0;
+    config.hi_mhz = 800.0;
+    config.max_expand = 1;
+
+    const PoffSearchResult result = find_poff_bisection(
+        step_probe(0.0), base_point(), config);  // every frequency fails
+    EXPECT_FALSE(result.bracketed);
+    ASSERT_FALSE(result.sweep.empty());
+    EXPECT_DOUBLE_EQ(result.lo_mhz, result.sweep.front().point.freq_mhz);
+    EXPECT_DOUBLE_EQ(result.hi_mhz, result.sweep.back().point.freq_mhz);
+    // No probe ever passed: the PoFF is certainly at or below lo.
+    EXPECT_DOUBLE_EQ(result.pass_risk, 1.0);
+}
+
+TEST(PoffBisection, CancellationStopsCleanly) {
+    PoffSearchConfig config;
+    config.lo_mhz = 650.0;
+    config.hi_mhz = 800.0;
+    config.tol_mhz = 0.001;  // would take many probes
+    std::size_t budget = 3;
+    config.cancelled = [&budget] {
+        if (budget == 0) return true;
+        --budget;
+        return false;
+    };
+
+    const PoffSearchResult result =
+        find_poff_bisection(step_probe(713.0), base_point(), config);
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_LE(result.probes, 3u);
+}
+
+TEST(PoffBisection, RejectsDegenerateInputs) {
+    PoffSearchConfig config;
+    config.lo_mhz = 800.0;
+    config.hi_mhz = 700.0;
+    EXPECT_THROW(
+        find_poff_bisection(step_probe(750.0), base_point(), config),
+        std::invalid_argument);
+
+    config.lo_mhz = 700.0;
+    config.hi_mhz = 800.0;
+    config.tol_mhz = 0.0;
+    EXPECT_THROW(
+        find_poff_bisection(step_probe(750.0), base_point(), config),
+        std::invalid_argument);
+}
+
+TEST(PoffBisection, ProbesCarryTheBaseCoordinates) {
+    PoffSearchConfig config;
+    config.lo_mhz = 650.0;
+    config.hi_mhz = 800.0;
+    const PoffSearchResult result =
+        find_poff_bisection(step_probe(713.0), base_point(), config);
+    for (const PointSummary& probe : result.sweep) {
+        EXPECT_DOUBLE_EQ(probe.point.vdd, 0.7);
+        EXPECT_DOUBLE_EQ(probe.point.noise.sigma_mv, 10.0);
+    }
+}
+
+}  // namespace
+}  // namespace sfi

@@ -119,5 +119,26 @@ TEST(Cli, WithoutVocabularyNothingIsUnknown) {
     EXPECT_TRUE(cli.unknown_flags().empty());
 }
 
+TEST(Cli, GetPositiveDoubleAcceptsFinitePositiveValues) {
+    const Cli cli = make({"prog", "--watchdog-factor", "2.5",
+                          "--ci-target=0.05"});
+    EXPECT_DOUBLE_EQ(cli.get_positive_double("watchdog-factor", 8.0), 2.5);
+    EXPECT_DOUBLE_EQ(cli.get_positive_double("ci-target", 0.1), 0.05);
+    EXPECT_DOUBLE_EQ(cli.get_positive_double("absent", 8.0), 8.0);
+}
+
+TEST(Cli, GetPositiveDoubleRejectsNonFiniteAndNonPositive) {
+    // Each of these would silently disarm the watchdog or spin the
+    // adaptive stopping loop forever if it got through.
+    for (const char* bad : {"0", "-1", "-0.5", "nan", "inf", "-inf",
+                            "1e999", "bogus", ""}) {
+        const std::string arg = std::string("--watchdog-factor=") + bad;
+        const Cli cli = make({"prog", arg.c_str()});
+        EXPECT_THROW(cli.get_positive_double("watchdog-factor", 8.0),
+                     std::invalid_argument)
+            << "accepted --watchdog-factor=" << bad;
+    }
+}
+
 }  // namespace
 }  // namespace sfi

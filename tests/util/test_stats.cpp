@@ -63,6 +63,58 @@ TEST(RunningStats, MergeWithEmpty) {
     EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeOfTwoEmptiesStaysEmpty) {
+    RunningStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeSingletons) {
+    // Singleton merges are the smallest non-trivial case of Chan's
+    // formula (m2 contributions come only from the delta term).
+    RunningStats a, b;
+    a.add(2.0);
+    b.add(6.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_NEAR(a.variance(), 8.0, 1e-12);  // sample variance of {2, 6}
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+
+    RunningStats c, single;
+    single.add(-1.0);
+    for (double v : {1.0, 2.0, 3.0}) c.add(v);
+    c.merge(single);
+    RunningStats reference;
+    for (double v : {1.0, 2.0, 3.0, -1.0}) reference.add(v);
+    EXPECT_EQ(c.count(), reference.count());
+    EXPECT_NEAR(c.mean(), reference.mean(), 1e-12);
+    EXPECT_NEAR(c.variance(), reference.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(c.min(), -1.0);
+}
+
+TEST(RunningStats, MergeOfContiguousHalvesMatchesSinglePass) {
+    // The split-halves case (first half / second half, not interleaved)
+    // is what the batched executor's cross-summary roll-ups see.
+    RunningStats all, first, second;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-100, 100);
+        all.add(v);
+        (i < 250 ? first : second).add(v);
+    }
+    first.merge(second);
+    EXPECT_EQ(first.count(), all.count());
+    EXPECT_NEAR(first.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(first.variance(), all.variance(), 1e-7);
+    EXPECT_DOUBLE_EQ(first.min(), all.min());
+    EXPECT_DOUBLE_EQ(first.max(), all.max());
+    EXPECT_NEAR(first.sum(), all.sum(), 1e-8);
+}
+
 TEST(Quantile, MedianOfOddSample) {
     EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
 }
