@@ -34,7 +34,15 @@ void Cpu::reset(const Program& program) {
     fault_addr_ = 0;
     last_was_load_ = false;
     last_load_dest_ = 0;
-    decode_cache_.assign(mem_.size() / 4, DecodeEntry{});
+    // Invalidate by generation bump: O(1) per reset instead of re-zeroing
+    // one DecodeEntry per memory word (a multi-MB fill that used to
+    // dominate short Monte-Carlo trials). Entries are lazily re-decoded on
+    // first fetch because their stamp no longer matches.
+    if (decode_cache_.size() != mem_.size() / 4) {
+        decode_cache_.assign(mem_.size() / 4, DecodeEntry{});
+        decode_gen_ = 0;
+    }
+    ++decode_gen_;
 }
 
 void Cpu::set_reg(std::uint8_t index, std::uint32_t value) {
@@ -44,16 +52,16 @@ void Cpu::set_reg(std::uint8_t index, std::uint32_t value) {
 
 void Cpu::invalidate_decode(std::uint32_t addr) {
     const std::uint32_t word = addr / 4;
-    if (word < decode_cache_.size()) decode_cache_[word].valid = false;
+    if (word < decode_cache_.size()) decode_cache_[word].gen = 0;
 }
 
 const Instr* Cpu::fetch_decoded(std::uint32_t pc, bool& illegal) {
     illegal = false;
     if (pc % 4 != 0 || pc + 4 > mem_.size()) return nullptr;
     DecodeEntry& entry = decode_cache_[pc / 4];
-    if (!entry.valid) {
+    if (entry.gen != decode_gen_) {
         const auto decoded = decode(mem_.read_u32(pc));
-        entry.valid = true;
+        entry.gen = decode_gen_;
         entry.illegal = !decoded.has_value();
         if (decoded) entry.instr = *decoded;
     }

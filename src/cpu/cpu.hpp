@@ -132,7 +132,11 @@ public:
 private:
     struct DecodeEntry {
         Instr instr;
-        bool valid = false;
+        /// Entry is valid iff gen == decode_gen_. reset() bumps the
+        /// generation instead of re-zeroing the multi-MB cache, so a trial
+        /// only pays decode for the words it actually fetches. 0 is the
+        /// permanent "invalid" stamp (decode_gen_ starts at 1).
+        std::uint64_t gen = 0;
         bool illegal = false;
     };
 
@@ -165,8 +169,10 @@ private:
     std::uint8_t last_load_dest_ = 0;
     bool last_was_load_ = false;
 
-    // Decode cache (one entry per word), invalidated by data stores.
+    // Decode cache (one entry per word), invalidated by data stores and
+    // wholesale (generation bump) by reset().
     std::vector<DecodeEntry> decode_cache_;
+    std::uint64_t decode_gen_ = 0;
     void invalidate_decode(std::uint32_t addr);
 };
 

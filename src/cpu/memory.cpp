@@ -28,6 +28,7 @@ void Memory::load(const Program& program) {
             throw MemFault(section.addr, "program section outside memory");
         std::memcpy(bytes_.data() + section.addr, section.bytes.data(),
                     section.bytes.size());
+        touch(section.addr, n);
     }
     ++write_gen_;
 }
@@ -60,23 +61,27 @@ std::uint8_t Memory::read_u8(std::uint32_t addr) const {
 void Memory::write_u32(std::uint32_t addr, std::uint32_t value) {
     check(addr, 4);
     std::memcpy(bytes_.data() + addr, &value, 4);
+    touch(addr, 4);
     ++write_gen_;
 }
 
 void Memory::write_u16(std::uint32_t addr, std::uint16_t value) {
     check(addr, 2);
     std::memcpy(bytes_.data() + addr, &value, 2);
+    touch(addr, 2);
     ++write_gen_;
 }
 
 void Memory::write_u8(std::uint32_t addr, std::uint8_t value) {
     check(addr, 1);
     bytes_[addr] = value;
+    touch(addr, 1);
     ++write_gen_;
 }
 
 void Memory::clear() {
-    std::fill(bytes_.begin(), bytes_.end(), 0);
+    std::fill(bytes_.begin() + dirty_lo_, bytes_.begin() + dirty_hi_, 0);
+    dirty_lo_ = dirty_hi_ = 0;
     ++write_gen_;
 }
 

@@ -42,14 +42,36 @@ public:
     /// to stay coherent without per-store invalidation bookkeeping.
     std::uint64_t write_generation() const { return write_gen_; }
 
-    /// Resets contents to zero (keeps size).
+    /// Resets contents to zero (keeps size). O(dirty footprint), not
+    /// O(size): only the byte range touched since the last clear is
+    /// re-zeroed — everything outside it is zero by the class invariant.
+    /// This is what makes per-trial Cpu::reset cost proportional to the
+    /// benchmark's working set instead of the full 1 MiB image.
     void clear();
+
+    /// Bytes the next clear() will re-zero (the dirty range; testing aid).
+    std::uint32_t dirty_bytes() const { return dirty_hi_ - dirty_lo_; }
 
 private:
     void check(std::uint32_t addr, std::uint32_t bytes) const;
 
+    /// Extends the dirty range to cover [addr, addr + n). Every mutation
+    /// of bytes_ must pass through here to uphold the clear() invariant.
+    void touch(std::uint32_t addr, std::uint32_t n) {
+        if (dirty_lo_ == dirty_hi_) {
+            dirty_lo_ = addr;
+            dirty_hi_ = addr + n;
+        } else {
+            if (addr < dirty_lo_) dirty_lo_ = addr;
+            if (addr + n > dirty_hi_) dirty_hi_ = addr + n;
+        }
+    }
+
     std::vector<std::uint8_t> bytes_;
     std::uint64_t write_gen_ = 0;
+    // Invariant: bytes_ outside [dirty_lo_, dirty_hi_) are all zero.
+    std::uint32_t dirty_lo_ = 0;
+    std::uint32_t dirty_hi_ = 0;
 };
 
 }  // namespace sfi

@@ -36,7 +36,8 @@ std::uint64_t core_config_fingerprint(const CoreModelConfig& config) {
     return fp.value();
 }
 
-CharacterizedCore::CharacterizedCore(CoreModelConfig config)
+CharacterizedCore::CharacterizedCore(CoreModelConfig config,
+                                     perf::PhaseProfile* profile)
     : config_(std::move(config)),
       alu_(build_alu(config_.alu)),
       lib_(config_.lib),
@@ -61,7 +62,7 @@ CharacterizedCore::CharacterizedCore(CoreModelConfig config)
         }
     }
     if (!loaded) {
-        const DtaResult dta = run_dta(alu_, timing_, config_.dta);
+        const DtaResult dta = run_dta(alu_, timing_, config_.dta, profile);
         cdfs_ = std::make_shared<TimingErrorCdfs>(TimingErrorCdfs::from_dta(dta));
         if (!config_.cdf_cache_path.empty()) {
             std::ofstream os(config_.cdf_cache_path, std::ios::binary);

@@ -40,7 +40,12 @@ std::uint64_t core_config_fingerprint(const CoreModelConfig& config);
 
 class CharacterizedCore {
 public:
-    explicit CharacterizedCore(CoreModelConfig config = {});
+    /// `profile`, when given, receives the DTA phase timings
+    /// (Phase::DtaEval / Phase::EventSimSettle) of the characterization —
+    /// nothing is recorded on a CDF-cache hit, which is itself a useful
+    /// signal in BENCH_core.json.
+    explicit CharacterizedCore(CoreModelConfig config = {},
+                               perf::PhaseProfile* profile = nullptr);
 
     const Alu& alu() const { return alu_; }
     const TimingLib& lib() const { return lib_; }

@@ -52,6 +52,10 @@ public:
         inner_->reseed(seed ^ 0x52415a4fULL);  // distinct inner stream
     }
 
+    /// Detection only reacts to inner injections, so reachability is the
+    /// inner model's (arms the zero-fault trial fast path for razor runs).
+    bool can_inject() const override { return inner_->can_inject(); }
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;

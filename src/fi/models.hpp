@@ -16,6 +16,7 @@
 // (paper §2.1).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,8 @@ struct OperatingPoint {
     NoiseConfig noise;
 
     double period_ps() const { return 1.0e6 / freq_mhz; }
+
+    bool operator==(const OperatingPoint&) const = default;
 };
 
 /// What a timing violation does to the captured bit.
@@ -90,8 +93,26 @@ public:
     virtual std::unique_ptr<FaultModel> clone() const = 0;
 
     /// Sets frequency/voltage/noise; resets per-point derived state.
+    /// Memoized: re-applying the current point is a no-op, so per-trial
+    /// callers (MonteCarloRunner::run_trial_with) do not rebuild the
+    /// noise-window tables once per trial — derived state depends only on
+    /// the point and on const characterization data, never on the RNG,
+    /// policy or statistics.
     void set_operating_point(const OperatingPoint& point);
     const OperatingPoint& operating_point() const { return point_; }
+
+    /// True when corrupt() could inject at least one fault at the current
+    /// operating point under SOME noise draw; false is a guarantee that
+    /// every trial at this point reproduces the fault-free run, which is
+    /// what arms the zero-fault trial fast path
+    /// (MonteCarloRunner::run_trial_with). The base implementation is the
+    /// conservative `true`.
+    virtual bool can_inject() const { return true; }
+
+    /// Overwrites the injection statistics wholesale. Used by the
+    /// zero-fault fast path to leave the model's stats() exactly as the
+    /// skipped (provably injection-free) simulation would have.
+    void adopt_stats(const FiStats& stats) { stats_ = stats; }
 
     void set_policy(FaultPolicy policy) { policy_ = policy; }
     FaultPolicy policy() const { return policy_; }
@@ -127,6 +148,12 @@ protected:
     FaultPolicy policy_ = FaultPolicy::BitFlip;
     Rng rng_;
     FiStats stats_;
+
+private:
+    /// set_operating_point memoization guard: false until the first call,
+    /// so the constructor-established derived state is refreshed once even
+    /// for the default point.
+    bool point_applied_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -143,6 +170,9 @@ public:
         return std::make_unique<ModelA>(*this);
     }
     double flip_probability() const { return p_; }
+
+    /// A zero probability can never flip anything.
+    bool can_inject() const override { return p_ > 0.0; }
 
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
@@ -170,6 +200,11 @@ public:
     /// operating point (with worst-case clipped noise), MHz.
     double first_fault_frequency_mhz() const;
 
+    /// Exact (quantization-aware) reachability: true iff some entry of the
+    /// noise-window table (or the no-noise window) is small enough for the
+    /// most critical endpoint to violate.
+    bool can_inject() const override;
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;
@@ -183,6 +218,12 @@ private:
     // Noise -> capture-window lookup (quantized; see .cpp).
     std::vector<double> noise_window_table_;
     double base_window_ps_ = 0.0;          // no-noise capture window @ Vref
+    // Derived per point (operating_point_changed): the smallest capture
+    // window any noise draw can produce (= the table minimum, or the
+    // no-noise window) and the precomputed clip level feeding the table
+    // index — both hoisted out of the per-ALU-op corrupt() path.
+    double min_window_ps_ = 0.0;
+    double noise_clip_v_ = 0.0;
 };
 
 /// Model C: statistical, instruction-aware fault injection from DTA CDFs.
@@ -202,6 +243,11 @@ public:
     /// at the current operating point (with worst-case clipped noise), MHz.
     double first_fault_frequency_mhz(ExClass cls) const;
 
+    /// True iff the smallest reachable capture window is below the worst
+    /// arrival of ANY characterized class (conservative over classes: the
+    /// kernel's instruction mix is unknown here).
+    bool can_inject() const override;
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;
@@ -211,6 +257,17 @@ private:
     const VddDelayFit* fit_;
     std::vector<double> noise_window_table_;
     double base_window_ps_ = 0.0;
+    double min_window_ps_ = 0.0;
+    double noise_clip_v_ = 0.0;
+    // Per-class CDF-store lookups hoisted out of corrupt(): the store is
+    // immutable for the model's lifetime, so the per-op class dispatch is
+    // two array loads instead of map/throw-guarded store calls.
+    struct ClassView {
+        bool present = false;
+        double max_window_ps = 0.0;
+        const std::vector<std::uint32_t>* order = nullptr;
+    };
+    std::array<ClassView, kExClassCount> class_view_{};
 };
 
 /// Shared helper: builds the quantized noise -> capture-window table.
@@ -222,6 +279,13 @@ std::vector<double> build_noise_window_table(const OperatingPoint& point,
 
 /// Maps a concrete noise draw (volts) to a table index.
 std::size_t noise_table_index(const OperatingPoint& point, double noise_v,
+                              std::size_t entries);
+
+/// Same mapping with the clip level precomputed (hot-path form: the clip
+/// is a per-point constant, so the models derive it once per operating
+/// point instead of twice per ALU op). Bit-identical to the overload
+/// above — the arithmetic sequence is unchanged.
+std::size_t noise_table_index(double clip_v, double noise_v,
                               std::size_t entries);
 
 }  // namespace sfi

@@ -12,6 +12,8 @@ namespace sfi {
 struct NoiseConfig {
     double sigma_mv = 0.0;     ///< standard deviation in millivolts
     double clip_sigmas = 2.0;  ///< saturation point (paper: 2 sigma)
+
+    bool operator==(const NoiseConfig&) const = default;
 };
 
 class VddNoise {

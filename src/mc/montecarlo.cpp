@@ -7,14 +7,45 @@
 
 namespace sfi {
 
+namespace {
+
+/// Pass-through hook that only counts what a FaultModel would have
+/// counted on an injection-free run; drives the golden run so the
+/// zero-fault fast path can synthesize exact FiStats.
+class CountingHook final : public ExFaultHook {
+public:
+    void on_cycle(bool fi_active) override {
+        if (fi_active) ++stats_.fi_cycles;
+    }
+    std::uint32_t on_ex_result(const ExEvent&, std::uint32_t correct) override {
+        ++stats_.alu_ops;
+        return correct;
+    }
+    const FiStats& stats() const { return stats_; }
+
+private:
+    FiStats stats_;
+};
+
+}  // namespace
+
 MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model,
                                    McConfig config)
-    : benchmark_(&benchmark), model_(&model), config_(config), cpu_(memory_) {
+    : benchmark_(&benchmark),
+      model_(&model),
+      config_(config),
+      cpu_(memory_),
+      trial_seeder_(config.seed) {
     // Fault-free reference run: establishes the golden cycle count and
-    // validates the kernel against its C++ replica.
-    cpu_.set_fault_hook(nullptr);
+    // validates the kernel against its C++ replica. The counting hook is
+    // functionally inert (results pass through untouched) but records the
+    // FI counters an injection-free trial reports — the fast-path
+    // template below must match a simulated clean trial field for field.
+    CountingHook counter;
+    cpu_.set_fault_hook(&counter);
     cpu_.reset(benchmark.program());
     golden_ = cpu_.run();
+    cpu_.set_fault_hook(nullptr);
     if (golden_.stop != StopReason::Halted)
         throw std::logic_error("MonteCarloRunner: golden run of " +
                                benchmark.name() + " did not halt (" +
@@ -27,6 +58,14 @@ MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model
                                " does not match the reference output");
     watchdog_cycles_ = static_cast<std::uint64_t>(
         std::ceil(config_.watchdog_factor * static_cast<double>(golden_.cycles)));
+
+    clean_outcome_.stop = StopReason::Halted;
+    clean_outcome_.finished = true;
+    clean_outcome_.correct = true;
+    clean_outcome_.output_error = benchmark.output_error(golden_output_);
+    clean_outcome_.fi = counter.stats();
+    clean_outcome_.cycles = golden_.cycles;
+    clean_outcome_.kernel_cycles = golden_.kernel_cycles;
 }
 
 TrialOutcome MonteCarloRunner::run_trial_with(Cpu& cpu, FaultModel& model,
@@ -37,8 +76,19 @@ TrialOutcome MonteCarloRunner::run_trial_with(Cpu& cpu, FaultModel& model,
     // Independent, reproducible stream per trial: (seed, trial) fully
     // determines the model's draws, so equal indices reproduce identical
     // trials on any context, in any order, on any thread.
-    Rng seeder(config_.seed);
-    model.reseed(seeder.fork(trial)());
+    model.reseed(trial_seeder_.fork(trial)());
+
+    // Zero-fault fast path: when the model proves it cannot inject at this
+    // point, the trial's simulation IS the golden run — return the
+    // precomputed outcome instead of re-simulating it. The watchdog guard
+    // covers watchdog_factor < 1 configurations where even the clean run
+    // would be cut short. RNG state needs no special handling: every trial
+    // reseeds above, so skipped draws cannot leak into other trials.
+    if (config_.zero_fault_fast_path && !model.can_inject() &&
+        golden_.cycles <= watchdog_cycles_) {
+        model.adopt_stats(clean_outcome_.fi);  // model.stats() stays faithful
+        return clean_outcome_;
+    }
 
     cpu.set_fault_hook(&model);
     cpu.reset(benchmark_->program());  // zeroes memory: no cross-trial state
@@ -65,15 +115,22 @@ TrialOutcome MonteCarloRunner::run_trial(const OperatingPoint& point,
 }
 
 PointSummary MonteCarloRunner::run_point(const OperatingPoint& point) {
-    // Worker-count resolution/clamping is owned by run_trials_parallel;
-    // here we only decide serial vs. parallel.
-    if (config_.trials > 1 && resolve_thread_count(config_.threads) > 1)
-        return summarize_trials(
-            point, run_trials_parallel(*this, point, config_.threads));
     std::vector<TrialOutcome> outcomes;
-    outcomes.reserve(config_.trials);
-    for (std::size_t trial = 0; trial < config_.trials; ++trial)
-        outcomes.push_back(run_trial(point, trial));
+    {
+        const perf::ScopedPhaseTimer trial_timer(profile_, perf::Phase::TrialRun,
+                                                 config_.trials);
+        // Worker-count resolution/clamping is owned by run_trials_parallel;
+        // here we only decide serial vs. parallel.
+        if (config_.trials > 1 && resolve_thread_count(config_.threads) > 1) {
+            outcomes = run_trials_parallel(*this, point, config_.threads);
+        } else {
+            outcomes.reserve(config_.trials);
+            for (std::size_t trial = 0; trial < config_.trials; ++trial)
+                outcomes.push_back(run_trial(point, trial));
+        }
+    }
+    const perf::ScopedPhaseTimer fold_timer(profile_, perf::Phase::Aggregation,
+                                            outcomes.size());
     return summarize_trials(point, outcomes);
 }
 

@@ -14,6 +14,8 @@
 #include "apps/benchmark.hpp"
 #include "cpu/cpu.hpp"
 #include "fi/models.hpp"
+#include "perf/perf.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace sfi {
@@ -28,6 +30,15 @@ struct McConfig {
     /// runs exceeding it count as "did not finish" (infinite-loop guard,
     /// paper §2.2).
     double watchdog_factor = 8.0;
+    /// Skips the ISS run for trials whose fault model provably cannot
+    /// inject at the operating point (FaultModel::can_inject() == false)
+    /// and returns the precomputed fault-free outcome instead. Exact, not
+    /// approximate: such a trial's simulation is the golden run, so every
+    /// summary is bit-identical with the flag on or off (proven by
+    /// tests/mc/test_fastpath.cpp). The switch exists for that proof and
+    /// for measuring the fast path's effect (bench/sfi_perf.cpp) — leave
+    /// it on otherwise.
+    bool zero_fault_fast_path = true;
     /// Worker threads for run_point (and therefore the sweep drivers):
     /// 1 = serial on the caller's model, 0 = one worker per hardware
     /// thread, N = exactly N workers. Every setting produces a
@@ -118,6 +129,12 @@ public:
     /// Prototype fault model (cloned once per parallel worker).
     const FaultModel& model() const { return *model_; }
 
+    /// Attaches a perf profile (null detaches). run_point charges the
+    /// trial loop to Phase::TrialRun and the summary fold to
+    /// Phase::Aggregation (items = trials). Dispatch-thread only: parallel
+    /// sections are timed as a whole, workers never touch the profile.
+    void set_perf_profile(perf::PhaseProfile* profile) { profile_ = profile; }
+
 private:
     const Benchmark* benchmark_;
     FaultModel* model_;
@@ -127,6 +144,13 @@ private:
     RunResult golden_;
     std::vector<std::uint32_t> golden_output_;
     std::uint64_t watchdog_cycles_ = 0;
+    /// Template outcome of a provably injection-free trial (== the golden
+    /// run, FI counters included); what the zero-fault fast path returns.
+    TrialOutcome clean_outcome_;
+    /// Per-trial stream derivation base (seeded once from config_.seed;
+    /// fork(trial) is const, so sharing it across threads is safe).
+    Rng trial_seeder_;
+    perf::PhaseProfile* profile_ = nullptr;
 };
 
 /// Aggregates `outcomes` (indexed by trial) exactly like the historical

@@ -1,0 +1,141 @@
+#include "perf/json_writer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace sfi::perf {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+    if (stack_.empty()) return;  // top-level value
+    Frame& frame = stack_.back();
+    if (frame.array) {
+        if (frame.has_value) os_ << ',';
+        newline_indent();
+    } else {
+        // Object values must be introduced by key(); key() already wrote
+        // the separator and "name": prefix.
+        assert(key_pending_ && "JsonWriter: object value without key()");
+        key_pending_ = false;
+    }
+    frame.has_value = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+    assert(!stack_.empty() && !stack_.back().array &&
+           "JsonWriter: key() outside an object");
+    assert(!key_pending_ && "JsonWriter: two key() calls in a row");
+    if (stack_.back().has_value) os_ << ',';
+    newline_indent();
+    os_ << '"' << escape(name) << "\": ";
+    key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+    before_value();
+    os_ << '{';
+    stack_.push_back({false, false});
+}
+
+void JsonWriter::end_object() {
+    assert(!stack_.empty() && !stack_.back().array);
+    const bool had_values = stack_.back().has_value;
+    stack_.pop_back();
+    if (had_values) newline_indent();
+    os_ << '}';
+    if (stack_.empty()) os_ << '\n';
+}
+
+void JsonWriter::begin_array() {
+    before_value();
+    os_ << '[';
+    stack_.push_back({true, false});
+}
+
+void JsonWriter::end_array() {
+    assert(!stack_.empty() && stack_.back().array);
+    const bool had_values = stack_.back().has_value;
+    stack_.pop_back();
+    if (had_values) newline_indent();
+    os_ << ']';
+    if (stack_.empty()) os_ << '\n';
+}
+
+void JsonWriter::value(std::string_view text) {
+    before_value();
+    os_ << '"' << escape(text) << '"';
+}
+
+void JsonWriter::value(double number) {
+    before_value();
+    if (!std::isfinite(number)) {
+        // JSON has no NaN/Inf; null keeps the document parseable and makes
+        // the bad sample visible instead of corrupting the file.
+        os_ << "null";
+        return;
+    }
+    // %.17g round-trips every double; trim to the shortest representation
+    // that still round-trips so the artifacts stay humanly diffable.
+    char buf[32];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, number);
+        double parsed = 0.0;
+        std::sscanf(buf, "%lf", &parsed);
+        if (parsed == number) break;
+    }
+    os_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+    before_value();
+    os_ << number;
+}
+
+void JsonWriter::value(std::int64_t number) {
+    before_value();
+    os_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+    before_value();
+    os_ << (flag ? "true" : "false");
+}
+
+void JsonWriter::null() {
+    before_value();
+    os_ << "null";
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace sfi::perf

@@ -1,0 +1,30 @@
+#include "perf/perf.hpp"
+
+namespace sfi::perf {
+
+const char* phase_name(Phase phase) {
+    switch (phase) {
+        case Phase::DtaEval: return "dta_eval";
+        case Phase::EventSimSettle: return "event_sim_settle";
+        case Phase::FaultSampling: return "fault_sampling";
+        case Phase::TrialRun: return "trial_run";
+        case Phase::Aggregation: return "aggregation";
+    }
+    return "?";
+}
+
+void PhaseProfile::merge(const PhaseProfile& other) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+        stats_[i].seconds += other.stats_[i].seconds;
+        stats_[i].calls += other.stats_[i].calls;
+        stats_[i].items += other.stats_[i].items;
+    }
+}
+
+double PhaseProfile::total_seconds() const {
+    double total = 0.0;
+    for (const PhaseStats& s : stats_) total += s.seconds;
+    return total;
+}
+
+}  // namespace sfi::perf

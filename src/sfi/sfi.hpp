@@ -35,6 +35,9 @@
 #include "mc/report.hpp"
 #include "mc/sweep.hpp"
 #include "netlist/netlist.hpp"
+#include "perf/json_writer.hpp"
+#include "perf/perf.hpp"
+#include "perf/report.hpp"
 #include "power/power_model.hpp"
 #include "sampling/batch.hpp"
 #include "sampling/search.hpp"

@@ -7,7 +7,10 @@
 namespace sfi {
 
 DtaClassResult run_dta_class(const Alu& alu, const InstanceTiming& timing,
-                             ExClass cls, const DtaConfig& config) {
+                             ExClass cls, const DtaConfig& config,
+                             perf::PhaseProfile* profile) {
+    const perf::ScopedPhaseTimer dta_timer(profile, perf::Phase::DtaEval,
+                                           config.cycles);
     DtaClassResult result;
     result.cls = cls;
 
@@ -32,14 +35,18 @@ DtaClassResult run_dta_class(const Alu& alu, const InstanceTiming& timing,
     sim.set_input("b", rng.u32() & mask);
     sim.initialize();
 
-    for (std::size_t cycle = 0; cycle < config.cycles; ++cycle) {
-        sim.set_input("a", rng.u32() & mask);
-        sim.set_input("b", rng.u32() & mask);
-        const std::vector<double>& arrivals = sim.settle();
-        for (std::size_t bit = 0; bit < width; ++bit) {
-            const double a = arrivals[bit];
-            result.arrivals_ps[bit].push_back(static_cast<float>(a));
-            result.max_arrival_ps = std::max(result.max_arrival_ps, a);
+    {
+        const perf::ScopedPhaseTimer settle_timer(
+            profile, perf::Phase::EventSimSettle, config.cycles);
+        for (std::size_t cycle = 0; cycle < config.cycles; ++cycle) {
+            sim.set_input("a", rng.u32() & mask);
+            sim.set_input("b", rng.u32() & mask);
+            const std::vector<double>& arrivals = sim.settle();
+            for (std::size_t bit = 0; bit < width; ++bit) {
+                const double a = arrivals[bit];
+                result.arrivals_ps[bit].push_back(static_cast<float>(a));
+                result.max_arrival_ps = std::max(result.max_arrival_ps, a);
+            }
         }
     }
     result.events = sim.total_events();
@@ -47,12 +54,13 @@ DtaClassResult run_dta_class(const Alu& alu, const InstanceTiming& timing,
 }
 
 DtaResult run_dta(const Alu& alu, const InstanceTiming& timing,
-                  const DtaConfig& config) {
+                  const DtaConfig& config, perf::PhaseProfile* profile) {
     DtaResult result;
     result.setup_ps = timing.setup_ps();
     result.cycles = config.cycles;
     for (const ExClass cls : Alu::instruction_classes()) {
-        result.classes.push_back(run_dta_class(alu, timing, cls, config));
+        result.classes.push_back(
+            run_dta_class(alu, timing, cls, config, profile));
         result.worst_arrival_ps =
             std::max(result.worst_arrival_ps, result.classes.back().max_arrival_ps);
     }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "circuits/alu.hpp"
+#include "perf/perf.hpp"
 #include "timing/event_sim.hpp"
 #include "timing/timing_lib.hpp"
 
@@ -44,12 +45,17 @@ struct DtaResult {
     double worst_arrival_ps = 0.0;  ///< max over classes
 };
 
-/// Characterizes every instruction class of `alu`.
+/// Characterizes every instruction class of `alu`. When `profile` is
+/// non-null it receives one Phase::DtaEval record per class (items =
+/// kernel cycles) and the aggregated Phase::EventSimSettle cost of the
+/// settle loop inside each class.
 DtaResult run_dta(const Alu& alu, const InstanceTiming& timing,
-                  const DtaConfig& config = {});
+                  const DtaConfig& config = {},
+                  perf::PhaseProfile* profile = nullptr);
 
 /// Characterizes a single class (used by tests and focused experiments).
 DtaClassResult run_dta_class(const Alu& alu, const InstanceTiming& timing,
-                             ExClass cls, const DtaConfig& config = {});
+                             ExClass cls, const DtaConfig& config = {},
+                             perf::PhaseProfile* profile = nullptr);
 
 }  // namespace sfi

@@ -35,6 +35,11 @@ EventSim::EventSim(const Netlist& netlist, const InstanceTiming& timing,
         is_active_[id] = constants[id] == NetConst::Variable;
     active_cells_ = static_cast<std::size_t>(
         std::count(is_active_.begin(), is_active_.end(), std::uint8_t{1}));
+    // One live pending event per active cell is the steady-state load
+    // (cancelled entries linger until popped, so the true peak can exceed
+    // it); reserving that much up front makes settle() growth-free in the
+    // common case.
+    heap_.reserve(active_cells_ + 1);
 
     // CSR fanout adjacency restricted to active sinks.
     std::vector<std::uint32_t> degree(count, 0);
@@ -87,19 +92,21 @@ bool EventSim::eval_cell(NetId id) const {
 }
 
 void EventSim::initialize() {
-    std::vector<std::uint8_t> values(netlist_->cell_count(), 0);
+    // Re-establish the steady state in the persistent value buffer — no
+    // per-call allocation, so re-initializing a simulator (DTA warm
+    // restarts, multi-seed characterization) reuses the settle buffers.
+    std::fill(value_.begin(), value_.end(), 0);
     for (const auto& [bus, value] : fixed_inputs_) {
         const auto& nets = netlist_->input_bus(bus);
         for (std::size_t bit = 0; bit < nets.size(); ++bit)
-            if (nets[bit] != kNoNet) values[nets[bit]] = (value >> bit) & 1u;
+            if (nets[bit] != kNoNet) value_[nets[bit]] = (value >> bit) & 1u;
     }
     for (const auto& [bus, staged] : staged_) {
         const auto& [nets, value] = staged;
         for (std::size_t bit = 0; bit < nets.size(); ++bit)
-            if (nets[bit] != kNoNet) values[nets[bit]] = (value >> bit) & 1u;
+            if (nets[bit] != kNoNet) value_[nets[bit]] = (value >> bit) & 1u;
     }
-    netlist_->eval_into(values);
-    value_ = std::move(values);
+    netlist_->eval_into(value_);
     std::fill(pending_valid_.begin(), pending_valid_.end(), 0);
     heap_.clear();
     initialized_ = true;

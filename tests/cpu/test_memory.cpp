@@ -91,5 +91,63 @@ TEST(Memory, InvalidSizeThrows) {
     EXPECT_THROW(Memory(10), std::invalid_argument);
 }
 
+// clear() is dirty-range based (O(footprint), the PR 5 trial-reset
+// optimization); these tests pin its correctness invariant: after clear()
+// EVERY byte reads zero, wherever the writes landed.
+
+TEST(Memory, ClearZeroesScatteredWritesIncludingExtremes) {
+    Memory m(4096);
+    m.write_u8(0, 0xff);          // lowest byte
+    m.write_u32(2048, 0x1234u);   // middle
+    m.write_u8(4095, 0xee);       // highest byte
+    m.clear();
+    for (std::uint32_t addr = 0; addr < 4096; addr += 4)
+        ASSERT_EQ(m.read_u32(addr), 0u) << "addr " << addr;
+}
+
+TEST(Memory, DirtyRangeTracksFootprintAndResets) {
+    Memory m(4096);
+    EXPECT_EQ(m.dirty_bytes(), 0u);  // fresh memory is all-zero already
+    m.write_u16(100, 0xffffu);
+    m.write_u8(110, 1);
+    EXPECT_EQ(m.dirty_bytes(), 11u);  // [100, 111)
+    m.clear();
+    EXPECT_EQ(m.dirty_bytes(), 0u);
+    EXPECT_EQ(m.read_u16(100), 0u);
+    EXPECT_EQ(m.read_u8(110), 0u);
+    // Re-dirty after a clear: the range restarts from the new write.
+    m.write_u8(5, 9);
+    EXPECT_EQ(m.dirty_bytes(), 1u);
+    m.clear();
+    EXPECT_EQ(m.read_u8(5), 0u);
+}
+
+TEST(Memory, LoadMarksProgramSectionsDirty) {
+    Memory m(0x10000);
+    const Program p = assemble(
+        "  l.nop\n"
+        ".org 0x8000\n"
+        "  .word 0x12345678\n");
+    m.load(p);
+    m.clear();
+    EXPECT_EQ(m.read_u32(0), 0u);
+    EXPECT_EQ(m.read_u32(0x8000), 0u);
+}
+
+TEST(Memory, RepeatedLoadClearCyclesStayClean) {
+    // The trial loop's access pattern: load -> run (writes) -> clear.
+    Memory m(4096);
+    const Program p = assemble("  l.nop\n  .word 7\n");
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        m.clear();
+        m.load(p);
+        m.write_u32(512, 0xabcdef01u);
+        EXPECT_EQ(m.read_u32(512), 0xabcdef01u);
+        m.clear();
+        for (std::uint32_t addr = 0; addr < 4096; addr += 4)
+            ASSERT_EQ(m.read_u32(addr), 0u) << "cycle " << cycle;
+    }
+}
+
 }  // namespace
 }  // namespace sfi
