@@ -24,6 +24,11 @@
 //   --no-store       disable the point store (recompute everything)
 //   --csv-dir DIR    directory for CSV dumps (default bench_csv)
 //   --no-csv         disable CSV output
+//   --dispatch MODE  CPU execution engine: "threaded" (decode-once
+//                    micro-op interpreter, default) or "legacy"
+//                    (reference fetch/decode/execute loop). Results are
+//                    bit-identical either way; the flag exists for A/B
+//                    perf measurement and semantic cross-checks.
 //
 // Flags outside this set (plus a bench's declared extras) produce a
 // warning on stderr but are still parsed — typos like `--trails` no
@@ -52,7 +57,8 @@ inline std::vector<std::string> known_flags(std::vector<std::string> extra) {
                                       "seed",   "cache",   "store",
                                       "no-store", "csv-dir", "no-csv",
                                       "watchdog-factor", "sampling",
-                                      "ci-target", "max-trials", "batch"};
+                                      "ci-target", "max-trials", "batch",
+                                      "dispatch"};
     known.insert(known.end(), std::make_move_iterator(extra.begin()),
                  std::make_move_iterator(extra.end()));
     return known;
@@ -65,6 +71,7 @@ struct Context {
     std::uint64_t seed = 1;
     std::size_t threads = 0;
     double watchdog_factor = 8.0;
+    CpuDispatch dispatch = CpuDispatch::Threaded;
     sampling::SamplingPolicy sampling;
     std::string csv_dir;
     std::string store_path;
@@ -84,6 +91,7 @@ struct Context {
         seed = checked_uint("seed", 1);
         threads = cli.get_threads();
         watchdog_factor = checked_positive_double("watchdog-factor", 8.0);
+        dispatch = parse_dispatch_flag();
         sampling = parse_sampling_policy();
         core_config.dta.cycles =
             static_cast<std::size_t>(checked_uint("dta-cycles", 8192));
@@ -118,6 +126,7 @@ struct Context {
         config.seed = seed;
         config.watchdog_factor = watchdog_factor;
         config.threads = threads;  // parallel MC; output is bit-identical
+        config.dispatch = dispatch;
         return config;
     }
 
@@ -135,6 +144,7 @@ struct Context {
         options.store_path = store_path;
         options.csv_dir = csv_dir;
         options.threads = threads;
+        options.dispatch = dispatch;
         options.console = &std::cout;
         return options;
     }
@@ -175,6 +185,17 @@ struct Context {
     }
 
 private:
+    CpuDispatch parse_dispatch_flag() const {
+        const std::string mode = cli.get("dispatch", "threaded");
+        const auto parsed = parse_cpu_dispatch(mode);
+        if (!parsed) {
+            std::cerr << "error: --dispatch must be one of legacy, threaded"
+                         " (got \"" << mode << "\")\n";
+            std::exit(2);
+        }
+        return *parsed;
+    }
+
     sampling::SamplingPolicy parse_sampling_policy() const {
         const std::string mode = cli.get("sampling", "fixed");
         const auto kind = sampling::parse_sampling_kind(mode);

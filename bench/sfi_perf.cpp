@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
     report.seed = ctx.seed;
     report.dta_cycles = ctx.core_config.dta.cycles;
     report.trials = ctx.trials;
+    report.dispatch = cpu_dispatch_name(ctx.dispatch);
     perf::Stopwatch total_watch;
 
     // Characterization (DTA phases land in the profile on a cache miss).
@@ -235,6 +236,7 @@ int main(int argc, char** argv) {
         ctx.apply_to(spec);
         campaign::RunOptions options;
         options.threads = ctx.threads;
+        options.dispatch = ctx.dispatch;
         perf::Stopwatch watch;
         campaign::CampaignRunner runner(std::move(spec), std::move(options));
         const campaign::CampaignResult result = runner.run();

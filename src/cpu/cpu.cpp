@@ -20,6 +20,8 @@ const char* stop_reason_name(StopReason reason) {
 
 Cpu::Cpu(Memory& memory, PipelineTiming timing) : mem_(memory), timing_(timing) {}
 
+Cpu::~Cpu() = default;  // here: InterpState is complete in this TU
+
 void Cpu::reset(const Program& program) {
     mem_.clear();
     mem_.load(program);
@@ -42,7 +44,17 @@ void Cpu::reset(const Program& program) {
         decode_cache_.assign(mem_.size() / 4, DecodeEntry{});
         decode_gen_ = 0;
     }
-    ++decode_gen_;
+    if (++decode_gen_ == 0) {
+        // Stamp rollover: 0 must stay the permanent "invalid" stamp, so
+        // wipe every entry back to it and restart at 1 (unreachable in
+        // real runs; tests/cpu/test_decode_cache.cpp fast-forwards here).
+        for (DecodeEntry& entry : decode_cache_) entry.gen = 0;
+        decode_gen_ = 1;
+    }
+    // Nothing is decoded at the fresh generation yet.
+    decode_live_lo_ = ~std::uint32_t{0};
+    decode_live_hi_ = 0;
+    if (interp_) sync_interp_on_reset(program);
 }
 
 void Cpu::set_reg(std::uint8_t index, std::uint32_t value) {
@@ -50,18 +62,16 @@ void Cpu::set_reg(std::uint8_t index, std::uint32_t value) {
     if (index != 0) regs_[index] = value;  // r0 is hardwired to zero
 }
 
-void Cpu::invalidate_decode(std::uint32_t addr) {
-    const std::uint32_t word = addr / 4;
-    if (word < decode_cache_.size()) decode_cache_[word].gen = 0;
-}
-
 const Instr* Cpu::fetch_decoded(std::uint32_t pc, bool& illegal) {
     illegal = false;
     if (pc % 4 != 0 || pc + 4 > mem_.size()) return nullptr;
-    DecodeEntry& entry = decode_cache_[pc / 4];
+    const std::uint32_t word = pc / 4;
+    DecodeEntry& entry = decode_cache_[word];
     if (entry.gen != decode_gen_) {
         const auto decoded = decode(mem_.read_u32(pc));
         entry.gen = decode_gen_;
+        if (word < decode_live_lo_) decode_live_lo_ = word;
+        if (word > decode_live_hi_) decode_live_hi_ = word;
         entry.illegal = !decoded.has_value();
         if (decoded) entry.instr = *decoded;
     }
@@ -75,8 +85,9 @@ const Instr* Cpu::fetch_decoded(std::uint32_t pc, bool& illegal) {
 void Cpu::spend_cycles(std::uint64_t n) {
     cycles_ += n;
     if (fi_active_) kernel_cycles_ += n;
-    if (hook_)
-        for (std::uint64_t i = 0; i < n; ++i) hook_->on_cycle(fi_active_);
+    // Batched handover: the default on_cycles loops on_cycle n times, so
+    // hooks that don't override it observe the exact legacy sequence.
+    if (hook_) hook_->on_cycles(n, fi_active_);
 }
 
 std::uint32_t Cpu::exec_alu(const Instr& instr, std::uint32_t a, std::uint32_t b) {
@@ -244,6 +255,11 @@ std::optional<StopReason> Cpu::step() {
 }
 
 RunResult Cpu::run(std::uint64_t max_cycles) {
+    // Tracing needs the per-step disassembly callback, which only the
+    // legacy loop provides; everything else observable is bit-identical
+    // between the two engines (see src/cpu/interp.hpp).
+    if (dispatch_ == CpuDispatch::Threaded && !trace_)
+        return run_threaded(max_cycles);
     if (max_cycles == 0) max_cycles = 100'000'000ULL;
     RunResult result;
     std::optional<StopReason> stop;

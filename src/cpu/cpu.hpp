@@ -19,13 +19,20 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "cpu/interp.hpp"
 #include "cpu/memory.hpp"
 #include "isa/isa.hpp"
 
 namespace sfi {
+
+namespace perf {
+class PhaseProfile;  // perf/perf.hpp
+}
 
 /// One EX-stage ALU computation offered to the fault-injection hook.
 struct ExEvent {
@@ -45,6 +52,16 @@ public:
     /// Called once per simulated clock cycle (including stall/flush
     /// bubbles). `fi_active` is true inside the benchmark kernel window.
     virtual void on_cycle(bool fi_active) = 0;
+
+    /// Batched form: must behave exactly like calling on_cycle(fi_active)
+    /// `n` times, which is what the default does. Hooks whose per-cycle
+    /// behavior is a pure accumulation (FaultModel, the golden-run
+    /// counter) override it with O(1) arithmetic so the ISS can hand over
+    /// a whole stall/flush group — or, in threaded dispatch, an entire
+    /// run's kernel window — in one virtual call.
+    virtual void on_cycles(std::uint64_t n, bool fi_active) {
+        for (std::uint64_t i = 0; i < n; ++i) on_cycle(fi_active);
+    }
 
     /// Called for every ALU-class instruction computing in EX during an
     /// FI-active cycle. Returns the (possibly corrupted) 32-bit result.
@@ -96,12 +113,35 @@ struct PipelineTiming {
 class Cpu {
 public:
     explicit Cpu(Memory& memory, PipelineTiming timing = {});
+    ~Cpu();  // out-of-line: InterpState is incomplete here
 
     /// Resets architectural state and loads `program` (entry -> PC).
     void reset(const Program& program);
 
     /// Installs / removes the fault-injection hook (may be null).
     void set_fault_hook(ExFaultHook* hook) { hook_ = hook; }
+
+    /// Selects the execution engine for run(): Legacy (per-step decode
+    /// cache, the reference semantics) or Threaded (decode-once micro-op
+    /// stream + kernel table, bit-identical and ~5x faster on clean
+    /// simulation — see src/cpu/interp.hpp for the equality contract).
+    /// Threaded runs fall back to the legacy loop while a trace callback
+    /// is installed; step() always executes the legacy path.
+    void set_dispatch(CpuDispatch dispatch) { dispatch_ = dispatch; }
+    CpuDispatch dispatch() const { return dispatch_; }
+
+    /// Eagerly lowers every word of `program`'s sections into the
+    /// micro-op stream (threaded dispatch only; a no-op when the stream
+    /// already matches the program's content hash). Returns the number of
+    /// words lowered — the Phase::Decode item count. Safe to call before
+    /// reset(): the stream is not trusted until a reset synchronizes
+    /// memory with the program image.
+    std::size_t prime_decode(const Program& program);
+
+    /// Attaches a perf profile (null detaches); threaded runs charge lazy
+    /// micro-op lowering to Phase::Decode. Dispatch-thread only — give
+    /// each worker Cpu its own profile (or none), never a shared one.
+    void set_perf_profile(perf::PhaseProfile* profile) { profile_ = profile; }
 
     /// Runs until halt / fault / watchdog. `max_cycles` bounds total
     /// simulated cycles (0 means the built-in default of 100M).
@@ -129,6 +169,15 @@ public:
                                        const std::string& disasm)>;
     void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+    // Generation-stamp debug hooks for the rollover tests
+    // (tests/cpu/test_decode_cache.cpp): both caches mark validity with a
+    // monotone stamp and must survive the stamp wrapping to 0, which no
+    // realistic run reaches — the tests fast-forward it here.
+    std::uint64_t debug_decode_generation() const { return decode_gen_; }
+    void debug_set_decode_generation(std::uint64_t gen) { decode_gen_ = gen; }
+    std::uint32_t debug_interp_generation() const;  // 0: no stream yet
+    void debug_set_interp_generation(std::uint32_t gen);
+
 private:
     struct DecodeEntry {
         Instr instr;
@@ -144,10 +193,23 @@ private:
     void spend_cycles(std::uint64_t n);
     std::uint32_t exec_alu(const Instr& instr, std::uint32_t a, std::uint32_t b);
 
+    // Threaded-dispatch engine (src/cpu/interp.cpp). The impl is a
+    // template over the hook policy (null / clean fault model / injecting
+    // fault model / generic hook) so the dispatch loop specializes away
+    // hook branches; all instantiations live in interp.cpp.
+    RunResult run_threaded(std::uint64_t max_cycles);
+    template <typename Policy>
+    RunResult run_threaded_impl(std::uint64_t max_cycles, Policy policy);
+    InterpState& ensure_interp();
+    void sync_interp_on_reset(const Program& program);
+
     Memory& mem_;
     PipelineTiming timing_;
     ExFaultHook* hook_ = nullptr;
     TraceFn trace_;
+    CpuDispatch dispatch_ = CpuDispatch::Legacy;
+    perf::PhaseProfile* profile_ = nullptr;
+    std::unique_ptr<InterpState> interp_;  // lazily allocated (threaded only)
 
     std::array<std::uint32_t, 32> regs_{};
     std::uint32_t pc_ = 0;
@@ -173,7 +235,36 @@ private:
     // wholesale (generation bump) by reset().
     std::vector<DecodeEntry> decode_cache_;
     std::uint64_t decode_gen_ = 0;
-    void invalidate_decode(std::uint32_t addr);
+    // Inclusive word span holding entries stamped at decode_gen_ (empty
+    // when lo > hi). Lets the store path skip the cache when the target
+    // was never decoded this generation — see invalidate_decode().
+    std::uint32_t decode_live_lo_ = ~std::uint32_t{0};
+    std::uint32_t decode_live_hi_ = 0;
+
+    // Inline: sits on the store kernels' per-instruction path in both
+    // dispatch modes, where an out-of-line call per store is measurable.
+    void invalidate_decode(std::uint32_t addr) {
+        const std::uint32_t word = addr / 4;
+        // Only words decoded at the *current* generation can hold a trusted
+        // entry, and both caches track that live span. Data stores — the
+        // overwhelming majority — land outside it and skip the arrays
+        // entirely, instead of dirtying a random cache line of a multi-MB
+        // vector on every store. (An empty span has lo > hi, so the guarded
+        // indexing below is always in bounds.)
+        if (word >= decode_live_lo_ && word <= decode_live_hi_)
+            decode_cache_[word].gen = 0;
+        if (interp_) {
+            InterpState& state = *interp_;
+            if (word >= state.live_lo && word <= state.live_hi)
+                state.uops[word].gen = 0;
+            // Track the store for the threaded stream's coherence protocol:
+            // expected_write_gen mirrors the one write-generation tick this
+            // store produced, and store_seen arms the relower_risk check (a
+            // word lowered from post-store content must not survive reset).
+            state.store_seen = true;
+            ++state.expected_write_gen;
+        }
+    }
 };
 
 }  // namespace sfi

@@ -33,52 +33,6 @@ void Memory::load(const Program& program) {
     ++write_gen_;
 }
 
-void Memory::check(std::uint32_t addr, std::uint32_t n) const {
-    if (addr > bytes_.size() || bytes_.size() - addr < n)
-        throw MemFault(addr, "out-of-range access");
-    if (n > 1 && addr % n != 0) throw MemFault(addr, "misaligned access");
-}
-
-std::uint32_t Memory::read_u32(std::uint32_t addr) const {
-    check(addr, 4);
-    std::uint32_t v;
-    std::memcpy(&v, bytes_.data() + addr, 4);
-    return v;  // host is little-endian (static_assert below)
-}
-
-std::uint16_t Memory::read_u16(std::uint32_t addr) const {
-    check(addr, 2);
-    std::uint16_t v;
-    std::memcpy(&v, bytes_.data() + addr, 2);
-    return v;
-}
-
-std::uint8_t Memory::read_u8(std::uint32_t addr) const {
-    check(addr, 1);
-    return bytes_[addr];
-}
-
-void Memory::write_u32(std::uint32_t addr, std::uint32_t value) {
-    check(addr, 4);
-    std::memcpy(bytes_.data() + addr, &value, 4);
-    touch(addr, 4);
-    ++write_gen_;
-}
-
-void Memory::write_u16(std::uint32_t addr, std::uint16_t value) {
-    check(addr, 2);
-    std::memcpy(bytes_.data() + addr, &value, 2);
-    touch(addr, 2);
-    ++write_gen_;
-}
-
-void Memory::write_u8(std::uint32_t addr, std::uint8_t value) {
-    check(addr, 1);
-    bytes_[addr] = value;
-    touch(addr, 1);
-    ++write_gen_;
-}
-
 void Memory::clear() {
     std::fill(bytes_.begin() + dirty_lo_, bytes_.begin() + dirty_hi_, 0);
     dirty_lo_ = dirty_hi_ = 0;

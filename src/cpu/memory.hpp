@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -31,12 +32,74 @@ public:
     void load(const Program& program);
 
     // Little-endian accessors. Word/half accesses must be aligned.
-    std::uint32_t read_u32(std::uint32_t addr) const;
-    std::uint16_t read_u16(std::uint32_t addr) const;
-    std::uint8_t read_u8(std::uint32_t addr) const;
-    void write_u32(std::uint32_t addr, std::uint32_t value);
-    void write_u16(std::uint32_t addr, std::uint16_t value);
-    void write_u8(std::uint32_t addr, std::uint8_t value);
+    // Defined inline: they sit on the per-instruction path of both ISS
+    // dispatch modes, where an out-of-line call per load/store is
+    // measurable against the rest of the interpreter loop.
+    std::uint32_t read_u32(std::uint32_t addr) const {
+        check(addr, 4);
+        return read_u32_unchecked(addr);
+    }
+    std::uint16_t read_u16(std::uint32_t addr) const {
+        check(addr, 2);
+        return read_u16_unchecked(addr);
+    }
+    std::uint8_t read_u8(std::uint32_t addr) const {
+        check(addr, 1);
+        return bytes_[addr];
+    }
+    void write_u32(std::uint32_t addr, std::uint32_t value) {
+        check(addr, 4);
+        write_u32_unchecked(addr, value);
+    }
+    void write_u16(std::uint32_t addr, std::uint16_t value) {
+        check(addr, 2);
+        write_u16_unchecked(addr, value);
+    }
+    void write_u8(std::uint32_t addr, std::uint8_t value) {
+        check(addr, 1);
+        write_u8_unchecked(addr, value);
+    }
+
+    /// The validity predicate of check() without the throw: true iff an
+    /// `n`-byte access at `addr` is in range and (for n > 1) aligned. The
+    /// threaded-dispatch kernels branch on this and fault via
+    /// StopReason::MemFault with fault_addr = addr — exactly the address
+    /// check() would have put in the thrown MemFault.
+    bool access_ok(std::uint32_t addr, std::uint32_t n) const {
+        return !(addr > bytes_.size() || bytes_.size() - addr < n) &&
+               !(n > 1 && addr % n != 0);
+    }
+
+    // Unchecked forms for callers that already verified access_ok();
+    // writes still maintain the dirty range and the write generation.
+    std::uint32_t read_u32_unchecked(std::uint32_t addr) const {
+        std::uint32_t v;
+        std::memcpy(&v, bytes_.data() + addr, 4);
+        return v;  // host is little-endian (static_assert in memory.cpp)
+    }
+    std::uint16_t read_u16_unchecked(std::uint32_t addr) const {
+        std::uint16_t v;
+        std::memcpy(&v, bytes_.data() + addr, 2);
+        return v;
+    }
+    std::uint8_t read_u8_unchecked(std::uint32_t addr) const {
+        return bytes_[addr];
+    }
+    void write_u32_unchecked(std::uint32_t addr, std::uint32_t value) {
+        std::memcpy(bytes_.data() + addr, &value, 4);
+        touch(addr, 4);
+        ++write_gen_;
+    }
+    void write_u16_unchecked(std::uint32_t addr, std::uint16_t value) {
+        std::memcpy(bytes_.data() + addr, &value, 2);
+        touch(addr, 2);
+        ++write_gen_;
+    }
+    void write_u8_unchecked(std::uint32_t addr, std::uint8_t value) {
+        bytes_[addr] = value;
+        touch(addr, 1);
+        ++write_gen_;
+    }
 
     /// Monotone counter bumped on every write; the ISS decode cache uses it
     /// to stay coherent without per-store invalidation bookkeeping.
@@ -53,7 +116,11 @@ public:
     std::uint32_t dirty_bytes() const { return dirty_hi_ - dirty_lo_; }
 
 private:
-    void check(std::uint32_t addr, std::uint32_t bytes) const;
+    void check(std::uint32_t addr, std::uint32_t n) const {
+        if (addr > bytes_.size() || bytes_.size() - addr < n)
+            throw MemFault(addr, "out-of-range access");
+        if (n > 1 && addr % n != 0) throw MemFault(addr, "misaligned access");
+    }
 
     /// Extends the dirty range to cover [addr, addr + n). Every mutation
     /// of bytes_ must pass through here to uphold the clear() invariant.

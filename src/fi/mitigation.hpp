@@ -56,6 +56,13 @@ public:
     /// inner model's (arms the zero-fault trial fast path for razor runs).
     bool can_inject() const override { return inner_->can_inject(); }
 
+    /// Clean ALU ops count toward this model's and the inner model's
+    /// statistics, exactly as corrupt() would have driven them.
+    void count_clean_ops(std::uint64_t n) override {
+        FaultModel::count_clean_ops(n);
+        inner_->count_clean_ops(n);
+    }
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;

@@ -26,6 +26,10 @@ void FaultModel::on_cycle(bool fi_active) {
     if (fi_active) ++stats_.fi_cycles;
 }
 
+void FaultModel::on_cycles(std::uint64_t n, bool fi_active) {
+    if (fi_active) stats_.fi_cycles += n;
+}
+
 std::uint32_t FaultModel::on_ex_result(const ExEvent& ev, std::uint32_t correct) {
     ++stats_.alu_ops;
     const std::uint64_t before = stats_.injections;

@@ -127,7 +127,20 @@ public:
 
     // ExFaultHook:
     void on_cycle(bool fi_active) final;
+    /// O(1) batch form (pure accumulation, so it is order-independent
+    /// against on_ex_result): lets the ISS charge a whole stall group —
+    /// or, under threaded dispatch, an entire run's kernel window — in
+    /// one call.
+    void on_cycles(std::uint64_t n, bool fi_active) final;
     std::uint32_t on_ex_result(const ExEvent& ev, std::uint32_t correct) final;
+
+    /// Credits `n` ALU operations that provably latched their correct
+    /// result — only valid when can_inject() is false, where corrupt()
+    /// is the identity for every possible draw. Pure statistics: no
+    /// corruption, no RNG. Virtual so decorating models keep their inner
+    /// model's counters in lock-step (razor's corrupt() drives the inner
+    /// on_ex_result, so the inner must see the same op count).
+    virtual void count_clean_ops(std::uint64_t n) { stats_.alu_ops += n; }
 
 protected:
     FaultModel() = default;

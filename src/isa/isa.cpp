@@ -122,10 +122,6 @@ std::uint32_t alu_result(ExClass c, std::uint32_t a, std::uint32_t b) {
     return 0;
 }
 
-namespace {
-
-enum class CmpKind { Eq, Ne, Gtu, Geu, Ltu, Leu, Gts, Ges, Lts, Les };
-
 CmpKind cmp_kind(Op op) {
     switch (op) {
         case Op::SFEQ: case Op::SFEQI: return CmpKind::Eq;
@@ -144,24 +140,6 @@ CmpKind cmp_kind(Op op) {
     }
 }
 
-bool flag_from(CmpKind k, bool eq, bool lt_s, bool lt_u) {
-    switch (k) {
-        case CmpKind::Eq: return eq;
-        case CmpKind::Ne: return !eq;
-        case CmpKind::Gtu: return !lt_u && !eq;
-        case CmpKind::Geu: return !lt_u;
-        case CmpKind::Ltu: return lt_u;
-        case CmpKind::Leu: return lt_u || eq;
-        case CmpKind::Gts: return !lt_s && !eq;
-        case CmpKind::Ges: return !lt_s;
-        case CmpKind::Lts: return lt_s;
-        case CmpKind::Les: return lt_s || eq;
-    }
-    return false;
-}
-
-}  // namespace
-
 bool compare_flag(Op op, std::uint32_t a, std::uint32_t b) {
     const bool eq = a == b;
     const bool lt_u = a < b;
@@ -171,21 +149,7 @@ bool compare_flag(Op op, std::uint32_t a, std::uint32_t b) {
 
 bool compare_flag_from_diff(Op op, std::uint32_t a, std::uint32_t b,
                             std::uint32_t diff) {
-    // The flag logic sits downstream of the 32 ALU endpoints: it consumes
-    // the latched difference plus the operand sign bits. A corrupted diff
-    // therefore yields exactly the flag the hardware would compute from the
-    // corrupted endpoints.
-    const bool eq = diff == 0;
-    // Unsigned borrow reconstruction: for diff = a - b (mod 2^32) the
-    // borrow occurred iff diff > a (wrap-around), which holds for the
-    // correct diff and degrades consistently for a corrupted one.
-    const bool lt_u = diff > a;
-    const bool sign_a = (a >> 31) & 1u;
-    const bool sign_b = (b >> 31) & 1u;
-    const bool sign_d = (diff >> 31) & 1u;
-    const bool overflow = (sign_a != sign_b) && (sign_d != sign_a);
-    const bool lt_s = sign_d != overflow;
-    return flag_from(cmp_kind(op), eq, lt_s, lt_u);
+    return compare_flag_from_diff_kind(cmp_kind(op), a, b, diff);
 }
 
 }  // namespace sfi

@@ -121,6 +121,52 @@ std::string reg_name(std::uint8_t r);
 /// the ALU endpoints); the flag is derived separately via `compare_flag`.
 std::uint32_t alu_result(ExClass c, std::uint32_t a, std::uint32_t b);
 
+/// Compare predicate of a set-flag opcode, resolved once (the threaded
+/// interpreter bakes it into the micro-op at lowering time so the hot
+/// kernel never re-derives it from the opcode).
+enum class CmpKind : std::uint8_t {
+    Eq, Ne, Gtu, Geu, Ltu, Leu, Gts, Ges, Lts, Les
+};
+
+/// Maps a set-flag opcode to its predicate.
+CmpKind cmp_kind(Op op);
+
+/// Evaluates a predicate from the primitive comparison outcomes.
+inline bool flag_from(CmpKind k, bool eq, bool lt_s, bool lt_u) {
+    switch (k) {
+        case CmpKind::Eq: return eq;
+        case CmpKind::Ne: return !eq;
+        case CmpKind::Gtu: return !lt_u && !eq;
+        case CmpKind::Geu: return !lt_u;
+        case CmpKind::Ltu: return lt_u;
+        case CmpKind::Leu: return lt_u || eq;
+        case CmpKind::Gts: return !lt_s && !eq;
+        case CmpKind::Ges: return !lt_s;
+        case CmpKind::Lts: return lt_s;
+        case CmpKind::Les: return lt_s || eq;
+    }
+    return false;
+}
+
+/// Kind-resolved form of compare_flag_from_diff (inline: it sits in the
+/// interpreter's compare kernel). The flag logic consumes the latched
+/// difference plus the operand sign bits, so a corrupted diff yields
+/// exactly the flag the hardware would compute from corrupted endpoints.
+inline bool compare_flag_from_diff_kind(CmpKind k, std::uint32_t a,
+                                        std::uint32_t b, std::uint32_t diff) {
+    const bool eq = diff == 0;
+    // Unsigned borrow reconstruction: for diff = a - b (mod 2^32) the
+    // borrow occurred iff diff > a (wrap-around), which holds for the
+    // correct diff and degrades consistently for a corrupted one.
+    const bool lt_u = diff > a;
+    const bool sign_a = (a >> 31) & 1u;
+    const bool sign_b = (b >> 31) & 1u;
+    const bool sign_d = (diff >> 31) & 1u;
+    const bool overflow = (sign_a != sign_b) && (sign_d != sign_a);
+    const bool lt_s = sign_d != overflow;
+    return flag_from(k, eq, lt_s, lt_u);
+}
+
 /// Derives the compare flag for a set-flag opcode from operands.
 bool compare_flag(Op op, std::uint32_t a, std::uint32_t b);
 

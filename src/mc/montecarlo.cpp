@@ -17,6 +17,9 @@ public:
     void on_cycle(bool fi_active) override {
         if (fi_active) ++stats_.fi_cycles;
     }
+    void on_cycles(std::uint64_t n, bool fi_active) override {
+        if (fi_active) stats_.fi_cycles += n;
+    }
     std::uint32_t on_ex_result(const ExEvent&, std::uint32_t correct) override {
         ++stats_.alu_ops;
         return correct;
@@ -36,6 +39,12 @@ MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model
       config_(config),
       cpu_(memory_),
       trial_seeder_(config.seed) {
+    // Lower the program into the micro-op stream once, up front: the
+    // golden run and every serial trial reuse it across resets (content
+    // hash match), so no run on this Cpu ever decodes lazily. No profile
+    // is attached yet — this one-time cost is construction, not a phase.
+    cpu_.set_dispatch(config_.dispatch);
+    cpu_.prime_decode(benchmark.program());
     // Fault-free reference run: establishes the golden cycle count and
     // validates the kernel against its C++ replica. The counting hook is
     // functionally inert (results pass through untouched) but records the

@@ -53,6 +53,13 @@ struct McConfig {
     /// Workflows that read per-trial model state (bench_ext_razor) call
     /// run_trial directly.
     std::size_t threads = 1;
+    /// Execution engine for every ISS run the runner performs (golden run,
+    /// serial trials, parallel worker contexts). Threaded is the
+    /// decode-once micro-op interpreter — bit-identical to Legacy in every
+    /// observable (tests/cpu/test_differential.cpp) and ~5x faster on
+    /// clean simulation; Legacy remains as the reference semantics and for
+    /// A/B measurement (bench --dispatch legacy).
+    CpuDispatch dispatch = CpuDispatch::Threaded;
 };
 
 /// Result of one fault-injected run of a benchmark.
@@ -131,9 +138,16 @@ public:
 
     /// Attaches a perf profile (null detaches). run_point charges the
     /// trial loop to Phase::TrialRun and the summary fold to
-    /// Phase::Aggregation (items = trials). Dispatch-thread only: parallel
-    /// sections are timed as a whole, workers never touch the profile.
-    void set_perf_profile(perf::PhaseProfile* profile) { profile_ = profile; }
+    /// Phase::Aggregation (items = trials); micro-op lowering is charged
+    /// to Phase::Decode (parallel context priming in make_trial_contexts,
+    /// plus any lazy re-lowering on the runner's own Cpu). Dispatch-thread
+    /// only: parallel sections are timed as a whole, workers never touch
+    /// the profile.
+    void set_perf_profile(perf::PhaseProfile* profile) {
+        profile_ = profile;
+        cpu_.set_perf_profile(profile);
+    }
+    perf::PhaseProfile* perf_profile() const { return profile_; }
 
 private:
     const Benchmark* benchmark_;

@@ -75,9 +75,26 @@ std::vector<std::unique_ptr<TrialContext>> make_trial_contexts(
     threads = std::max<std::size_t>(resolve_thread_count(threads), 1);
     std::vector<std::unique_ptr<TrialContext>> contexts;
     contexts.reserve(threads);
-    for (std::size_t index = 0; index < threads; ++index)
-        contexts.push_back(std::make_unique<TrialContext>(runner.benchmark(),
-                                                          runner.model()));
+    // Micro-op priming happens here, on the dispatching thread: every
+    // context lowers the full program once, so worker trials never decode
+    // lazily. That keeps the Phase::Decode counters a pure function of
+    // the context count (the self-scheduling pool gives no guarantee that
+    // every worker even executes a trial) and keeps PhaseProfile off the
+    // worker threads entirely.
+    perf::ScopedPhaseTimer decode_timer(
+        runner.config().dispatch == CpuDispatch::Threaded
+            ? runner.perf_profile()
+            : nullptr,
+        perf::Phase::Decode);
+    std::uint64_t lowered = 0;
+    for (std::size_t index = 0; index < threads; ++index) {
+        auto context = std::make_unique<TrialContext>(runner.benchmark(),
+                                                      runner.model());
+        context->cpu.set_dispatch(runner.config().dispatch);
+        lowered += context->cpu.prime_decode(runner.benchmark().program());
+        contexts.push_back(std::move(context));
+    }
+    decode_timer.set_items(lowered);
     return contexts;
 }
 

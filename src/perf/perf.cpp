@@ -7,6 +7,7 @@ const char* phase_name(Phase phase) {
         case Phase::DtaEval: return "dta_eval";
         case Phase::EventSimSettle: return "event_sim_settle";
         case Phase::FaultSampling: return "fault_sampling";
+        case Phase::Decode: return "decode";
         case Phase::TrialRun: return "trial_run";
         case Phase::Aggregation: return "aggregation";
     }

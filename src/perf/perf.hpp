@@ -12,8 +12,8 @@
 //    seconds differ. tests/perf/test_perf.cpp pins that contract.
 //
 // Phases form a fixed taxonomy (the rows of BENCH_core.json): DTA
-// evaluation, event-sim settle, fault sampling, trial execution and
-// outcome aggregation. Instrumented code takes a nullable PhaseProfile* —
+// evaluation, event-sim settle, fault sampling, micro-op decode, trial
+// execution and outcome aggregation. Instrumented code takes a nullable PhaseProfile* —
 // a null profile makes every hook a no-op, so the hot paths pay one
 // branch when profiling is off.
 //
@@ -37,11 +37,12 @@ enum class Phase : std::uint8_t {
     DtaEval,        ///< DTA characterization of one instruction class
     EventSimSettle, ///< event-driven settle() cycles inside the DTA loop
     FaultSampling,  ///< fault-model corrupt() evaluation (per ALU op)
+    Decode,         ///< micro-op lowering for threaded dispatch (per word)
     TrialRun,       ///< Monte-Carlo trial execution (ISS runs)
     Aggregation,    ///< folding TrialOutcomes into PointSummaries
 };
 
-inline constexpr std::size_t kPhaseCount = 5;
+inline constexpr std::size_t kPhaseCount = 6;
 
 /// Stable snake_case identifier used in the JSON schema ("dta_eval", ...).
 const char* phase_name(Phase phase);

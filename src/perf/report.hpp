@@ -6,9 +6,15 @@
 //
 //   {
 //     "schema": "sfi-bench-core",
-//     "schema_version": 1,
-//     "config":   { seed, dta_cycles, trials, benchmark },
+//     "schema_version": 2,
+//     "config":   { seed, dta_cycles, trials, benchmark, dispatch },
+//                 (v2: "dispatch" records the ISS execution engine the
+//                  kernels ran under — the regression gate refuses to
+//                  compare legacy-dispatch numbers against a baseline
+//                  recorded for the threaded engine)
 //     "phases":   [ { phase, seconds, calls, items } x kPhaseCount ],
+//                 (v2: the phase list gained "decode" — micro-op lowering
+//                  for the threaded-dispatch interpreter)
 //     "kernels":  [ { label, model, benchmark, freq_mhz, vdd, sigma_mv,
 //                     trials, fast_path,
 //                     scaling: [ { threads, seconds, trials_per_sec } ] } ],
@@ -33,7 +39,7 @@
 
 namespace sfi::perf {
 
-inline constexpr int kSchemaVersion = 1;
+inline constexpr int kSchemaVersion = 2;
 
 /// One (thread count, duration) sample of a kernel bench.
 struct ThreadSample {
@@ -76,6 +82,7 @@ struct PerfReport {
     std::size_t dta_cycles = 0;
     std::size_t trials = 0;
     std::string benchmark;
+    std::string dispatch;  ///< cpu_dispatch_name() of the engine benched
     PhaseProfile phases;
     std::vector<KernelBench> kernels;
     FastPathResult fast_path;

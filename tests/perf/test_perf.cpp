@@ -118,6 +118,7 @@ TEST(PhaseProfile, PhaseNamesAreStableIdentifiers) {
     EXPECT_STREQ(phase_name(Phase::DtaEval), "dta_eval");
     EXPECT_STREQ(phase_name(Phase::EventSimSettle), "event_sim_settle");
     EXPECT_STREQ(phase_name(Phase::FaultSampling), "fault_sampling");
+    EXPECT_STREQ(phase_name(Phase::Decode), "decode");
     EXPECT_STREQ(phase_name(Phase::TrialRun), "trial_run");
     EXPECT_STREQ(phase_name(Phase::Aggregation), "aggregation");
 }
@@ -322,6 +323,7 @@ PerfReport make_report() {
     report.benchmark = "median";
     report.phases.add(Phase::DtaEval, 1.25, 10240);
     report.phases.add(Phase::EventSimSettle, 1.125, 10240);
+    report.phases.add(Phase::Decode, 0.0625, 512);
     report.phases.add(Phase::TrialRun, 0.5, 2560);
     KernelBench kernel;
     kernel.label = "fig1-modelB-fault";
@@ -368,13 +370,17 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
     EXPECT_EQ(doc->at("config").at("benchmark").string, "median");
 
     // One phase row per taxonomy entry, in enum order, values preserved.
+    // Schema v2 inserted "decode" (micro-op lowering) before "trial_run".
     const auto& phases = doc->at("phases").array;
     ASSERT_EQ(phases.size(), kPhaseCount);
     EXPECT_EQ(phases[0]->at("phase").string, "dta_eval");
     EXPECT_DOUBLE_EQ(phases[0]->at("seconds").number, 1.25);
     EXPECT_EQ(phases[0]->at("items").number, 10240.0);
-    EXPECT_EQ(phases[4]->at("phase").string, "aggregation");
-    EXPECT_EQ(phases[4]->at("calls").number, 0.0);
+    EXPECT_EQ(phases[3]->at("phase").string, "decode");
+    EXPECT_EQ(phases[3]->at("items").number, 512.0);
+    EXPECT_EQ(phases[4]->at("phase").string, "trial_run");
+    EXPECT_EQ(phases[5]->at("phase").string, "aggregation");
+    EXPECT_EQ(phases[5]->at("calls").number, 0.0);
 
     const auto& kernels = doc->at("kernels").array;
     ASSERT_EQ(kernels.size(), 1u);
