@@ -29,6 +29,13 @@
 //                    (reference fetch/decode/execute loop). Results are
 //                    bit-identical either way; the flag exists for A/B
 //                    perf measurement and semantic cross-checks.
+//   --fault-sampling MODE  noise-draw sampling path for models B/B+/C:
+//                    "batched" (block-prefetched draws, bit-identical to
+//                    scalar, default), "scalar" (per-op reference path),
+//                    or "quantized" (alias-table index sampling; faster
+//                    but a distinct sampling distribution variant — model
+//                    names gain a "-q" suffix and store/cache keys are
+//                    salted so results never collide with exact runs).
 //
 // Flags outside this set (plus a bench's declared extras) produce a
 // warning on stderr but are still parsed — typos like `--trails` no
@@ -58,7 +65,7 @@ inline std::vector<std::string> known_flags(std::vector<std::string> extra) {
                                       "no-store", "csv-dir", "no-csv",
                                       "watchdog-factor", "sampling",
                                       "ci-target", "max-trials", "batch",
-                                      "dispatch"};
+                                      "dispatch", "fault-sampling"};
     known.insert(known.end(), std::make_move_iterator(extra.begin()),
                  std::make_move_iterator(extra.end()));
     return known;
@@ -92,6 +99,7 @@ struct Context {
         threads = cli.get_threads();
         watchdog_factor = checked_positive_double("watchdog-factor", 8.0);
         dispatch = parse_dispatch_flag();
+        core_config.fault_sampling = parse_fault_sampling_flag();
         sampling = parse_sampling_policy();
         core_config.dta.cycles =
             static_cast<std::size_t>(checked_uint("dta-cycles", 8192));
@@ -127,6 +135,7 @@ struct Context {
         config.watchdog_factor = watchdog_factor;
         config.threads = threads;  // parallel MC; output is bit-identical
         config.dispatch = dispatch;
+        config.fault_sampling = core_config.fault_sampling;
         return config;
     }
 
@@ -191,6 +200,17 @@ private:
         if (!parsed) {
             std::cerr << "error: --dispatch must be one of legacy, threaded"
                          " (got \"" << mode << "\")\n";
+            std::exit(2);
+        }
+        return *parsed;
+    }
+
+    FaultSamplingMode parse_fault_sampling_flag() const {
+        const std::string mode = cli.get("fault-sampling", "batched");
+        const auto parsed = parse_fault_sampling_mode(mode);
+        if (!parsed) {
+            std::cerr << "error: --fault-sampling must be one of scalar, "
+                         "batched, quantized (got \"" << mode << "\")\n";
             std::exit(2);
         }
         return *parsed;

@@ -92,8 +92,11 @@ perf::KernelBench bench_kernel(const std::string& label, const Benchmark& bench,
 }
 
 // The models' corrupt() path in isolation: synthetic add-class events.
-void bench_fault_sampling(FaultModel& model, const OperatingPoint& point,
-                          std::size_t ops, perf::PhaseProfile& profile) {
+// Scalar runs charge Phase::FaultSampling; batched/quantized runs charge
+// Phase::FaultSamplingBatch. Returns the measured ops/sec.
+double bench_fault_sampling(FaultModel& model, const OperatingPoint& point,
+                            std::size_t ops, perf::PhaseProfile& profile,
+                            perf::Phase phase) {
     model.set_operating_point(point);
     model.reset_stats();
     model.reseed(0xFA57ULL);
@@ -109,7 +112,9 @@ void bench_fault_sampling(FaultModel& model, const OperatingPoint& point,
         ev.prev_result = sink;
         sink = model.on_ex_result(ev, ev.operand_a + ev.operand_b);
     }
-    profile.add(perf::Phase::FaultSampling, watch.seconds(), ops);
+    const double seconds = watch.seconds();
+    profile.add(phase, seconds, ops);
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
 }
 
 }  // namespace
@@ -177,9 +182,38 @@ int main(int argc, char** argv) {
     fault_bplus.freq_mhz = f0_bplus * 1.01;
     OperatingPoint fault_c = base;
     fault_c.freq_mhz = f0_c * 1.02;
-    bench_fault_sampling(*model_a, fault_b, sampling_ops, report.phases);
-    bench_fault_sampling(*model_b, fault_bplus, sampling_ops, report.phases);
-    bench_fault_sampling(*model_c, fault_c, sampling_ops, report.phases);
+    bench_fault_sampling(*model_a, fault_b, sampling_ops, report.phases,
+                         perf::Phase::FaultSampling);
+    // Model B+ under each sampling mode — the within-run comparison that
+    // feeds the report's "fault_sampling" object (ratio gated in CI).
+    model_b->set_sampling_mode(FaultSamplingMode::Scalar);
+    report.fault_sampling.scalar_ops_per_sec =
+        bench_fault_sampling(*model_b, fault_bplus, sampling_ops,
+                             report.phases, perf::Phase::FaultSampling);
+    model_b->set_sampling_mode(FaultSamplingMode::Batched);
+    report.fault_sampling.batched_ops_per_sec =
+        bench_fault_sampling(*model_b, fault_bplus, sampling_ops,
+                             report.phases, perf::Phase::FaultSamplingBatch);
+    model_b->set_sampling_mode(FaultSamplingMode::Quantized);
+    report.fault_sampling.quantized_ops_per_sec =
+        bench_fault_sampling(*model_b, fault_bplus, sampling_ops,
+                             report.phases, perf::Phase::FaultSamplingBatch);
+    model_b->set_sampling_mode(ctx.core_config.fault_sampling);
+    report.fault_sampling.batched_speedup =
+        report.fault_sampling.scalar_ops_per_sec > 0.0
+            ? report.fault_sampling.batched_ops_per_sec /
+                  report.fault_sampling.scalar_ops_per_sec
+            : 0.0;
+    report.fault_sampling.avx2 = noise_conversion_uses_avx2();
+    std::printf("  B+ corrupt(): scalar %.2e, batched %.2e (%.2fx), "
+                "quantized %.2e ops/s%s\n",
+                report.fault_sampling.scalar_ops_per_sec,
+                report.fault_sampling.batched_ops_per_sec,
+                report.fault_sampling.batched_speedup,
+                report.fault_sampling.quantized_ops_per_sec,
+                report.fault_sampling.avx2 ? " [avx2]" : "");
+    bench_fault_sampling(*model_c, fault_c, sampling_ops, report.phases,
+                         perf::Phase::FaultSamplingBatch);
 
     std::printf("\n[trial kernels] %zu trials/sample, %s benchmark\n",
                 ctx.trials, report.benchmark.c_str());
@@ -202,6 +236,18 @@ int main(int argc, char** argv) {
     report.kernels.push_back(bench_kernel("fig1-modelBplus-sigma10", *bench,
                                           *model_b, fault_bplus, mc, ladder,
                                           &report.phases));
+    {
+        // Same point under the quantized (B-q) sampling variant. The
+        // runner stamps the mode from McConfig, so it needs its own
+        // config; the model is stamped up front so the label reads "B-q".
+        McConfig q_mc = mc;
+        q_mc.fault_sampling = FaultSamplingMode::Quantized;
+        model_b->set_sampling_mode(FaultSamplingMode::Quantized);
+        report.kernels.push_back(bench_kernel("fig1-modelBplus-sigma10-q",
+                                              *bench, *model_b, fault_bplus,
+                                              q_mc, {1}, &report.phases));
+        model_b->set_sampling_mode(ctx.core_config.fault_sampling);
+    }
     report.kernels.push_back(bench_kernel("modelC-fault", *bench, *model_c,
                                           fault_c, mc, {1}, &report.phases));
     report.kernels.push_back(bench_kernel("modelA-p1e-4", *bench, *model_a,

@@ -22,7 +22,12 @@ checked-in scripts/perf_baseline.json and fails on:
      (regenerate alongside the baseline when the runner class changes);
   5. fast-path erosion: the within-run zero-fault fast-path speedup
      (machine-independent, unlike absolute trials/sec) must stay above
-     min_fastpath_speedup.
+     min_fastpath_speedup;
+  6. fault-sampling erosion: when the baseline carries a "fault_sampling"
+     object, the report's batched corrupt() throughput must clear
+     min_batched_ops_per_sec and the within-run batched/scalar ratio
+     must stay above min_batched_speedup (the batched path must never
+     regress below the scalar reference it replaced).
 
 Kernels present in the report but not in the baseline are reported
 informationally — add them to the baseline when they stabilize. When the
@@ -113,6 +118,25 @@ def main():
     else:
         notes.append(f"{'fast-path speedup':28s} {speedup:12.1f}x  "
                      f"(floor {floor}x)")
+
+    fs_base = baseline.get("fault_sampling")
+    if fs_base is not None:
+        fs = report.get("fault_sampling", {})
+        batched = fs.get("batched_ops_per_sec", 0.0)
+        batched_speedup = fs.get("batched_speedup", 0.0)
+        ops_floor = fs_base.get("min_batched_ops_per_sec")
+        if ops_floor is not None and batched < ops_floor:
+            failures.append(
+                f"batched fault-sampling throughput {batched:.3g} ops/s "
+                f"below the floor {ops_floor:.3g}")
+        ratio_floor = fs_base.get("min_batched_speedup")
+        if ratio_floor is not None and batched_speedup < ratio_floor:
+            failures.append(
+                f"batched/scalar fault-sampling speedup "
+                f"{batched_speedup:.2f}x below the floor {ratio_floor}x")
+        notes.append(
+            f"{'fault-sampling batched':28s} {batched:12.3g} ops/s  "
+            f"speedup {batched_speedup:5.2f}x  avx2 {fs.get('avx2', False)}")
 
     for line in notes:
         print("  " + line)

@@ -182,6 +182,9 @@ std::unique_ptr<FaultModel> CampaignRunner::make_model(
                 model = panel_core.make_model_c();
             break;
     }
+    // The factory paths stamp the core's sampling mode already (memoized
+    // no-op here); the directly-constructed conditioned ModelC does not.
+    model->set_sampling_mode(panel_core.config().fault_sampling);
     model->set_policy(panel.model.policy);
     return model;
 }
@@ -279,6 +282,7 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
             config.watchdog_factor = spec_.watchdog_factor;
             config.threads = options_.threads;
             config.dispatch = options_.dispatch;
+            config.fault_sampling = panel_core.config().fault_sampling;
             mc = std::make_unique<MonteCarloRunner>(*bench, *model, config);
             executor = std::make_unique<sampling::BatchedExecutor>(
                 *mc, options_.threads);
@@ -314,6 +318,9 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
         search.tol_mhz = panel.poff->tol_mhz;
         search.max_expand = panel.poff->max_expand;
         search.cancelled = options_.cancelled;
+        // Probes run under `policy` (via compute_point), so their residual
+        // pass_risk must be quoted at the policy's z, not the default.
+        search.z = policy.z;
         const sampling::PoffSearchResult found =
             sampling::find_poff_bisection(compute_point, base, search);
         result.sweep = found.sweep;

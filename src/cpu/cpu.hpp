@@ -201,7 +201,8 @@ private:
     template <typename Policy>
     RunResult run_threaded_impl(std::uint64_t max_cycles, Policy policy);
     InterpState& ensure_interp();
-    void sync_interp_on_reset(const Program& program);
+    void sync_interp_on_reset(const Program& program,
+                              std::uint64_t program_hash);
 
     Memory& mem_;
     PipelineTiming timing_;
@@ -230,6 +231,21 @@ private:
     // Load-use hazard tracking: destination of a load in the previous step.
     std::uint8_t last_load_dest_ = 0;
     bool last_was_load_ = false;
+
+    // reset() fast-path cache: the program of the previous reset, its
+    // content hash (so the threaded stream's coherence check skips
+    // re-hashing every trial) and an identity signature over the entry
+    // point and every section's (addr, size, data pointer). A repeat
+    // reset of the same program restores the checkpointed memory image
+    // instead of clear+load. A rebuilt Program fails the signature (fresh
+    // byte buffers give fresh data pointers) even at a reused object
+    // address; the one uncovered case is overwriting section bytes in
+    // place without reallocating — contract: don't mutate a Program's
+    // bytes between resets (no in-tree caller does).
+    std::uint64_t reset_identity_sig(const Program& program) const;
+    const Program* reset_program_ = nullptr;
+    std::uint64_t reset_program_hash_ = 0;
+    std::uint64_t reset_program_sig_ = 0;
 
     // Decode cache (one entry per word), invalidated by data stores and
     // wholesale (generation bump) by reset().

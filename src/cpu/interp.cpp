@@ -169,9 +169,14 @@ InterpState& Cpu::ensure_interp() {
     return state;
 }
 
-void Cpu::sync_interp_on_reset(const Program& program) {
+void Cpu::sync_interp_on_reset(const Program& program,
+                               std::uint64_t program_hash) {
     InterpState& state = ensure_interp();
-    const std::uint64_t hash = hash_program(program);
+    // The caller (reset) hashes the program once and caches it; trials
+    // re-resetting the same program pass the cached value instead of
+    // paying an FNV pass over the whole image every reset.
+    const std::uint64_t hash =
+        program_hash != 0 ? program_hash : hash_program(program);
     // A hash change means a different program image altogether; a
     // re-lowered-after-store entry describes byte content this reset just
     // reverted. Either way the stream cannot be trusted.

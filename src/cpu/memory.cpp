@@ -1,5 +1,6 @@
 #include "cpu/memory.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -36,7 +37,39 @@ void Memory::load(const Program& program) {
 void Memory::clear() {
     std::fill(bytes_.begin() + dirty_lo_, bytes_.begin() + dirty_hi_, 0);
     dirty_lo_ = dirty_hi_ = 0;
+    sc_lo_ = sc_hi_ = 0;
+    has_image_ = false;
+    image_.clear();
     ++write_gen_;
+}
+
+void Memory::checkpoint_image() {
+    image_lo_ = dirty_lo_;
+    image_hi_ = dirty_hi_;
+    image_.assign(bytes_.begin() + image_lo_, bytes_.begin() + image_hi_);
+    sc_lo_ = sc_hi_ = 0;
+    has_image_ = true;
+}
+
+bool Memory::restore_image() {
+    if (!has_image_) return false;
+    if (sc_lo_ != sc_hi_) {
+        // Everything written since the checkpoint: zero it, then put back
+        // the slice of the image it overlapped. Bytes outside the written
+        // range are unchanged since the checkpoint by the touch()
+        // invariant, so this reconstructs the checkpoint state exactly.
+        std::fill(bytes_.begin() + sc_lo_, bytes_.begin() + sc_hi_, 0);
+        const std::uint32_t lo = std::max(sc_lo_, image_lo_);
+        const std::uint32_t hi = std::min(sc_hi_, image_hi_);
+        if (lo < hi)
+            std::memcpy(bytes_.data() + lo, image_.data() + (lo - image_lo_),
+                        hi - lo);
+        ++write_gen_;
+        sc_lo_ = sc_hi_ = 0;
+    }
+    dirty_lo_ = image_lo_;
+    dirty_hi_ = image_hi_;
+    return true;
 }
 
 static_assert(std::endian::native == std::endian::little,

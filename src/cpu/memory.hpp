@@ -110,10 +110,32 @@ public:
     /// re-zeroed — everything outside it is zero by the class invariant.
     /// This is what makes per-trial Cpu::reset cost proportional to the
     /// benchmark's working set instead of the full 1 MiB image.
+    /// Also discards any checkpoint image (its bytes are gone).
     void clear();
+
+    /// Snapshots the current contents as the restore image for
+    /// restore_image() — in practice the post-load program image, taken
+    /// by Cpu::reset. O(dirty footprint). Every later mutation funnels
+    /// through touch(), which tracks the written range, so a restore can
+    /// reconstruct this exact state from the deltas alone.
+    void checkpoint_image();
+
+    /// Reverts contents to the last checkpoint_image() state, in O(bytes
+    /// written since the checkpoint) — zero the written range, re-copy
+    /// the part of the image it overlapped. Returns false (doing
+    /// nothing) when no checkpoint exists. The write generation advances
+    /// only if memory actually changed. This is the per-trial fast path
+    /// of Cpu::reset: trials re-running one program skip the full
+    /// clear+load.
+    bool restore_image();
+
+    bool has_image() const { return has_image_; }
 
     /// Bytes the next clear() will re-zero (the dirty range; testing aid).
     std::uint32_t dirty_bytes() const { return dirty_hi_ - dirty_lo_; }
+
+    /// Bytes written since the last checkpoint_image() (testing aid).
+    std::uint32_t bytes_since_checkpoint() const { return sc_hi_ - sc_lo_; }
 
 private:
     void check(std::uint32_t addr, std::uint32_t n) const {
@@ -122,8 +144,9 @@ private:
         if (n > 1 && addr % n != 0) throw MemFault(addr, "misaligned access");
     }
 
-    /// Extends the dirty range to cover [addr, addr + n). Every mutation
-    /// of bytes_ must pass through here to uphold the clear() invariant.
+    /// Extends the dirty range (and the since-checkpoint range) to cover
+    /// [addr, addr + n). Every mutation of bytes_ must pass through here
+    /// to uphold the clear() and restore_image() invariants.
     void touch(std::uint32_t addr, std::uint32_t n) {
         if (dirty_lo_ == dirty_hi_) {
             dirty_lo_ = addr;
@@ -132,6 +155,13 @@ private:
             if (addr < dirty_lo_) dirty_lo_ = addr;
             if (addr + n > dirty_hi_) dirty_hi_ = addr + n;
         }
+        if (sc_lo_ == sc_hi_) {
+            sc_lo_ = addr;
+            sc_hi_ = addr + n;
+        } else {
+            if (addr < sc_lo_) sc_lo_ = addr;
+            if (addr + n > sc_hi_) sc_hi_ = addr + n;
+        }
     }
 
     std::vector<std::uint8_t> bytes_;
@@ -139,6 +169,15 @@ private:
     // Invariant: bytes_ outside [dirty_lo_, dirty_hi_) are all zero.
     std::uint32_t dirty_lo_ = 0;
     std::uint32_t dirty_hi_ = 0;
+    // Invariant: while has_image_, bytes_ outside [sc_lo_, sc_hi_) are
+    // unchanged since checkpoint_image() — clear() is the one mutation
+    // that bypasses touch(), and it drops the image.
+    std::uint32_t sc_lo_ = 0;
+    std::uint32_t sc_hi_ = 0;
+    bool has_image_ = false;
+    std::vector<std::uint8_t> image_;  // copy of [image_lo_, image_hi_)
+    std::uint32_t image_lo_ = 0;
+    std::uint32_t image_hi_ = 0;
 };
 
 }  // namespace sfi

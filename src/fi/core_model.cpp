@@ -33,6 +33,16 @@ std::uint64_t core_config_fingerprint(const CoreModelConfig& config) {
     fp.mix(config.dta.seed);
     fp.mix(config.dta.clk_to_q_ps);
     fp.mix(config.dta.operand_bits);
+    // The sampling mode is mixed ONLY for the quantized ("B-q") variant:
+    // Scalar and Batched produce bit-identical trial results, so their
+    // stored points are interchangeable and must keep the pre-existing
+    // key. Quantized draws a different stream — separating its
+    // fingerprint keeps old point stores from ever colliding with it.
+    // (Side effect, deliberate: a quantized run also re-keys the CDF
+    // cache. Conservative — the characterization itself is unchanged —
+    // but it guarantees the store/cache key split stays in lock-step.)
+    if (config.fault_sampling == FaultSamplingMode::Quantized)
+        fp.mix(std::uint64_t{0x712d76617269616eULL});  // 'q-varian' salt
     return fp.value();
 }
 
@@ -90,11 +100,15 @@ std::unique_ptr<ModelA> CharacterizedCore::make_model_a(
 }
 
 std::unique_ptr<ModelB> CharacterizedCore::make_model_b() const {
-    return std::make_unique<ModelB>(sta_, lib_.fit());
+    auto model = std::make_unique<ModelB>(sta_, lib_.fit());
+    model->set_sampling_mode(config_.fault_sampling);
+    return model;
 }
 
 std::unique_ptr<ModelC> CharacterizedCore::make_model_c() const {
-    return std::make_unique<ModelC>(cdfs_, lib_.fit());
+    auto model = std::make_unique<ModelC>(cdfs_, lib_.fit());
+    model->set_sampling_mode(config_.fault_sampling);
+    return model;
 }
 
 }  // namespace sfi

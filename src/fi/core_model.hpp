@@ -15,6 +15,7 @@
 #include "circuits/alu.hpp"
 #include "fi/cdf.hpp"
 #include "fi/models.hpp"
+#include "fi/sampling_batch.hpp"
 #include "timing/calibration.hpp"
 #include "timing/dta.hpp"
 #include "timing/sta.hpp"
@@ -29,6 +30,11 @@ struct CoreModelConfig {
     DtaConfig dta;
     /// Optional binary cache for the (deterministic) DTA result.
     std::string cdf_cache_path;
+    /// Draw-stream mode stamped onto models built by the factories.
+    /// Scalar and Batched are bit-identical (same results, same
+    /// fingerprint); Quantized is the alias-sampled "B-q" variant and
+    /// gets its own fingerprint so stored results never collide.
+    FaultSamplingMode fault_sampling = FaultSamplingMode::Batched;
 };
 
 /// FNV-1a hash of every CoreModelConfig knob that affects the

@@ -52,6 +52,13 @@ public:
         inner_->reseed(seed ^ 0x52415a4fULL);  // distinct inner stream
     }
 
+    /// The sampling mode only matters to the inner model's draw stream,
+    /// but is forwarded so both agree (and name() reports the variant).
+    void set_sampling_mode(FaultSamplingMode mode) override {
+        FaultModel::set_sampling_mode(mode);
+        inner_->set_sampling_mode(mode);
+    }
+
     /// Detection only reacts to inner injections, so reachability is the
     /// inner model's (arms the zero-fault trial fast path for razor runs).
     bool can_inject() const override { return inner_->can_inject(); }

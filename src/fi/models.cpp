@@ -122,11 +122,24 @@ ModelB::ModelB(StaResult sta, const VddDelayFit& fit)
     max_window_ps_ =
         window_ps_.empty() ? 0.0
                            : *std::max_element(window_ps_.begin(), window_ps_.end());
+    // Cumulative fault masks for the batched path: cum_mask_[k] is the
+    // union of the first k (most critical) endpoints of order_. The
+    // endpoints are distinct bits, so applying them one at a time —
+    // XOR-flipping or stale-capturing each — equals one masked apply.
+    assert(order_.size() <= 255);  // violation counts live in uint8_t
+    cum_mask_.resize(order_.size() + 1);
+    cum_mask_[0] = 0;
+    for (std::size_t k = 0; k < order_.size(); ++k)
+        cum_mask_[k + 1] = cum_mask_[k] | (1u << order_[k]);
     operating_point_changed();
 }
 
 std::string ModelB::name() const {
-    return point_.noise.sigma_mv > 0.0 ? "B+" : "B";
+    if (point_.noise.sigma_mv <= 0.0) return "B";
+    // The alias-sampled variant is a statistically-equivalent but not
+    // bit-identical stream; it is reported (and fingerprinted) as its
+    // own model so stored results never mix with exact B+ runs.
+    return sampling_mode_ == FaultSamplingMode::Quantized ? "B-q" : "B+";
 }
 
 ModelFeatures ModelB::features() const {
@@ -146,6 +159,54 @@ void ModelB::operating_point_changed() {
             ? base_window_ps_
             : *std::min_element(noise_window_table_.begin(),
                                 noise_window_table_.end());
+    vdd_noise_ = VddNoise(point_.noise);
+    // Violation-count tables for the batched path: for every window the
+    // model can ever see (each table entry, plus the no-noise window) the
+    // number of injected endpoints is a pure function of the window — the
+    // count of leading order_ entries with window_ps_ > window, exactly
+    // the scalar loop's break condition. Precomputing it turns a batched
+    // corrupt() into one count load and one cum_mask_ apply.
+    const auto leading_violations = [&](double window) {
+        std::uint8_t count = 0;
+        for (const std::uint32_t endpoint : order_) {
+            if (window_ps_[endpoint] <= window) break;
+            ++count;
+        }
+        return count;
+    };
+    base_violation_count_ = leading_violations(base_window_ps_);
+    violation_count_.resize(noise_window_table_.size());
+    for (std::size_t i = 0; i < noise_window_table_.size(); ++i)
+        violation_count_[i] = leading_violations(noise_window_table_[i]);
+    refresh_sampling();
+}
+
+void ModelB::refresh_sampling() {
+    // clip_mv / clip_v are spelled with VddNoise::draw's and max_abs_v()'s
+    // own expressions so the batch's conversion constants are bitwise the
+    // scalar path's.
+    batch_.configure(point_.noise.sigma_mv,
+                     point_.noise.clip_sigmas * point_.noise.sigma_mv,
+                     noise_clip_v_, noise_window_table_.size(),
+                     sampling_mode_);
+    // B-q's sampler: the window index only ever feeds violation_count_,
+    // so quantized mode aliases the pushforward of the index masses
+    // through that table and samples the count directly — a <= 33-entry
+    // L1-resident table instead of a 1025-entry index alias.
+    count_alias_ = AliasTable{};
+    if (sampling_mode_ == FaultSamplingMode::Quantized &&
+        !noise_window_table_.empty()) {
+        const std::vector<double> masses = noise_index_masses(
+            point_.noise.sigma_mv,
+            point_.noise.clip_sigmas * point_.noise.sigma_mv,
+            noise_window_table_.size());
+        if (!masses.empty()) {
+            std::vector<double> count_mass(order_.size() + 1, 0.0);
+            for (std::size_t i = 0; i < masses.size(); ++i)
+                count_mass[violation_count_[i]] += masses[i];
+            count_alias_ = build_alias_from_masses(count_mass);
+        }
+    }
 }
 
 bool ModelB::can_inject() const {
@@ -165,20 +226,57 @@ double ModelB::first_fault_frequency_mhz() const {
 }
 
 std::uint32_t ModelB::corrupt(const ExEvent& ev, std::uint32_t correct) {
-    double window = base_window_ps_;
-    if (!noise_window_table_.empty()) {
-        VddNoise noise(point_.noise);
-        const double n = noise.draw(rng_);
-        window = noise_window_table_[noise_table_index(
-            noise_clip_v_, n, noise_window_table_.size())];
+    if (sampling_mode_ == FaultSamplingMode::Scalar) {
+        // Reference path: one noise draw, table lookup and per-endpoint
+        // walk per op. The batched path below is proven bit-identical to
+        // this by the differential suite (tests/fi, tests/mc).
+        double window = base_window_ps_;
+        if (!noise_window_table_.empty()) {
+            const double n = vdd_noise_.draw(rng_);
+            window = noise_window_table_[noise_table_index(
+                noise_clip_v_, n, noise_window_table_.size())];
+        }
+        if (max_window_ps_ <= window) return correct;  // whole stage safe
+        std::uint32_t result = correct;
+        for (const std::uint32_t endpoint : order_) {
+            if (window_ps_[endpoint] <= window) break;  // sorted: rest are safe
+            result = apply_fault(result, endpoint, ev.prev_result);
+        }
+        return result;
     }
-    if (max_window_ps_ <= window) return correct;  // whole stage safe
-    std::uint32_t result = correct;
-    for (const std::uint32_t endpoint : order_) {
-        if (window_ps_[endpoint] <= window) break;  // sorted: rest are safe
-        result = apply_fault(result, endpoint, ev.prev_result);
+    // Batched/quantized path: the window never leaves integer space — the
+    // precomputed violation count selects a cumulative mask that applies
+    // all violating endpoints at once. Batched draws the count through a
+    // prefetched (bit-identical) table index; quantized samples it
+    // directly from the count alias (2 raw u64 draws, not bit-identical:
+    // the "B-q" variant).
+    std::size_t count;
+    if (noise_window_table_.empty())
+        count = base_violation_count_;
+    else if (sampling_mode_ == FaultSamplingMode::Quantized)
+        count = count_alias_.sample(rng_);
+    else
+        count = violation_count_[batch_.next_index(rng_)];
+    if (count == 0) return correct;
+    return apply_leading_faults(count, correct, ev.prev_result);
+}
+
+std::uint32_t ModelB::apply_leading_faults(std::size_t count,
+                                           std::uint32_t correct,
+                                           std::uint32_t prev_result) {
+    // Equivalent to `count` successive apply_fault calls on the leading
+    // endpoints of order_: the endpoints are distinct bits, so BitFlip
+    // XORs compose into one XOR of the union mask and StaleCapture's
+    // per-bit splice composes into one masked merge.
+    stats_.injections += count;
+    const std::uint32_t mask = cum_mask_[count];
+    switch (policy_) {
+        case FaultPolicy::BitFlip:
+            return correct ^ mask;
+        case FaultPolicy::StaleCapture:
+            return (correct & ~mask) | (prev_result & mask);
     }
-    return result;
+    return correct;
 }
 
 // ---------------------------------------------------------------------------
@@ -207,6 +305,7 @@ void ModelC::operating_point_changed() {
             ? base_window_ps_
             : *std::min_element(noise_window_table_.begin(),
                                 noise_window_table_.end());
+    vdd_noise_ = VddNoise(point_.noise);
     // Hoist the per-class store lookups: corrupt() runs once per ALU op,
     // and the store is immutable, so resolve the class dispatch to plain
     // array loads here. (Rebuilt per point only because this hook is the
@@ -220,6 +319,14 @@ void ModelC::operating_point_changed() {
             view.order = &cdfs_->endpoints_by_criticality(cls);
         }
     }
+    refresh_sampling();
+}
+
+void ModelC::refresh_sampling() {
+    batch_.configure(point_.noise.sigma_mv,
+                     point_.noise.clip_sigmas * point_.noise.sigma_mv,
+                     noise_clip_v_, noise_window_table_.size(),
+                     sampling_mode_);
 }
 
 bool ModelC::can_inject() const {
@@ -237,13 +344,19 @@ double ModelC::first_fault_frequency_mhz(ExClass cls) const {
 
 std::uint32_t ModelC::corrupt(const ExEvent& ev, std::uint32_t correct) {
     // Step 1 (Fig. 3): derive the capture window at Vref from clock
-    // frequency, supply voltage and this cycle's noise draw.
+    // frequency, supply voltage and this cycle's noise draw — taken from
+    // the prefetched index batch unless in scalar reference mode.
     double window = base_window_ps_;
+    bool batched_draw = false;
     if (!noise_window_table_.empty()) {
-        VddNoise noise(point_.noise);
-        const double n = noise.draw(rng_);
-        window = noise_window_table_[noise_table_index(
-            noise_clip_v_, n, noise_window_table_.size())];
+        if (sampling_mode_ == FaultSamplingMode::Scalar) {
+            const double n = vdd_noise_.draw(rng_);
+            window = noise_window_table_[noise_table_index(
+                noise_clip_v_, n, noise_window_table_.size())];
+        } else {
+            window = noise_window_table_[batch_.next_index(rng_)];
+            batched_draw = true;
+        }
     }
     // Step 2+3: evaluate the instruction's endpoint CDFs at the scaled
     // window and inject per-endpoint Bernoulli faults. The class dispatch
@@ -253,6 +366,12 @@ std::uint32_t ModelC::corrupt(const ExEvent& ev, std::uint32_t correct) {
     if (!view.present)  // preserve the store's "class not characterized" throw
         (void)cdfs_->class_max_window_ps(ev.cls);
     if (view.max_window_ps <= window) return correct;
+    // The Bernoulli walk consumes uniforms from the same stream the noise
+    // draws come from. In exact batched mode, rewind-and-replay the batch
+    // so those uniforms appear exactly where the scalar path would take
+    // them (bit-identity); quantized mode has no such contract and simply
+    // continues from the current generator state.
+    if (batched_draw && batch_.exact()) batch_.resync(rng_);
     std::uint32_t result = correct;
     for (const std::uint32_t endpoint : *view.order) {
         if (cdfs_->endpoint_max_window_ps(ev.cls, endpoint) <= window)

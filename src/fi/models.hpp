@@ -24,6 +24,7 @@
 #include "cpu/cpu.hpp"
 #include "fi/cdf.hpp"
 #include "fi/noise.hpp"
+#include "fi/sampling_batch.hpp"
 #include "timing/sta.hpp"
 #include "timing/vdd_model.hpp"
 #include "util/rng.hpp"
@@ -122,6 +123,19 @@ public:
     /// inner model in lock-step.
     virtual void reseed(std::uint64_t seed) { rng_.reseed(seed); }
 
+    /// Selects how the noise-modulated models consume their per-op draws
+    /// (fi/sampling_batch.hpp). Memoized like set_operating_point; the
+    /// Scalar and Batched modes produce bit-identical corrupt() streams,
+    /// Quantized is the fingerprinted "B-q" variant. Virtual so decorators
+    /// forward to their inner model. Switching modes mid-trial drops any
+    /// prefetched draws — call before reseed() for reproducible streams.
+    virtual void set_sampling_mode(FaultSamplingMode mode) {
+        if (mode == sampling_mode_) return;
+        sampling_mode_ = mode;
+        sampling_mode_changed();
+    }
+    FaultSamplingMode sampling_mode() const { return sampling_mode_; }
+
     const FiStats& stats() const { return stats_; }
     void reset_stats() { stats_ = FiStats{}; }
 
@@ -152,6 +166,8 @@ protected:
     virtual std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) = 0;
     /// Called when the operating point changes (derived-state refresh).
     virtual void operating_point_changed() {}
+    /// Called when the sampling mode changes (batch-state refresh).
+    virtual void sampling_mode_changed() {}
 
     /// Applies the fault policy to one endpoint of `value`.
     std::uint32_t apply_fault(std::uint32_t value, std::uint32_t endpoint,
@@ -161,6 +177,7 @@ protected:
     FaultPolicy policy_ = FaultPolicy::BitFlip;
     Rng rng_;
     FiStats stats_;
+    FaultSamplingMode sampling_mode_ = FaultSamplingMode::Batched;
 
 private:
     /// set_operating_point memoization guard: false until the first call,
@@ -218,11 +235,23 @@ public:
     /// most critical endpoint to violate.
     bool can_inject() const override;
 
+    /// Per-trial reseed also restarts the draw batch (unconsumed prefetch
+    /// is dropped; the fresh stream starts at the new seed).
+    void reseed(std::uint64_t seed) override {
+        FaultModel::reseed(seed);
+        batch_.start_trial();
+    }
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;
+    void sampling_mode_changed() override { refresh_sampling(); }
 
 private:
+    void refresh_sampling();
+    std::uint32_t apply_leading_faults(std::size_t count, std::uint32_t correct,
+                                       std::uint32_t prev_result);
+
     StaResult sta_;
     const VddDelayFit* fit_;
     std::vector<double> window_ps_;        // per endpoint: delay + setup @ Vref
@@ -237,6 +266,22 @@ private:
     // index — both hoisted out of the per-ALU-op corrupt() path.
     double min_window_ps_ = 0.0;
     double noise_clip_v_ = 0.0;
+    // Hoisted noise source (satellite: no per-corrupt() VddNoise
+    // construction) and the batched-sampling decision tables: for table
+    // index i, violation_count_[i] is how many leading endpoints of
+    // order_ violate that window, and cum_mask_[k] is the XOR-cumulative
+    // bit mask of the first k endpoints of order_ — together they reduce
+    // a batched corrupt() to one index, one count load and one mask apply
+    // (provably equal to the scalar per-endpoint walk; see .cpp).
+    VddNoise vdd_noise_;
+    std::vector<std::uint8_t> violation_count_;
+    std::uint8_t base_violation_count_ = 0;  // no-noise-table counterpart
+    std::vector<std::uint32_t> cum_mask_;
+    NoiseIndexBatch batch_;
+    // Quantized ("B-q") only: alias over the violation-count distribution
+    // (the index masses pushed through violation_count_), sampled directly
+    // per op — the index itself carries no other information in model B.
+    AliasTable count_alias_;
 };
 
 /// Model C: statistical, instruction-aware fault injection from DTA CDFs.
@@ -244,7 +289,13 @@ class ModelC final : public FaultModel {
 public:
     ModelC(std::shared_ptr<const TimingErrorCdfs> cdfs, const VddDelayFit& fit);
 
-    std::string name() const override { return "C"; }
+    std::string name() const override {
+        // Like ModelB: the alias-sampled stream is its own named variant.
+        return sampling_mode_ == FaultSamplingMode::Quantized &&
+                       point_.noise.sigma_mv > 0.0
+                   ? "C-q"
+                   : "C";
+    }
     ModelFeatures features() const override;
     std::unique_ptr<FaultModel> clone() const override {
         return std::make_unique<ModelC>(*this);  // shares the const CDF store
@@ -261,17 +312,28 @@ public:
     /// kernel's instruction mix is unknown here).
     bool can_inject() const override;
 
+    /// Per-trial reseed also restarts the draw batch.
+    void reseed(std::uint64_t seed) override {
+        FaultModel::reseed(seed);
+        batch_.start_trial();
+    }
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;
+    void sampling_mode_changed() override { refresh_sampling(); }
 
 private:
+    void refresh_sampling();
+
     std::shared_ptr<const TimingErrorCdfs> cdfs_;
     const VddDelayFit* fit_;
     std::vector<double> noise_window_table_;
     double base_window_ps_ = 0.0;
     double min_window_ps_ = 0.0;
     double noise_clip_v_ = 0.0;
+    VddNoise vdd_noise_;       // hoisted out of corrupt() (satellite fix)
+    NoiseIndexBatch batch_;    // prefetched window-table indices
     // Per-class CDF-store lookups hoisted out of corrupt(): the store is
     // immutable for the model's lifetime, so the per-op class dispatch is
     // two array loads instead of map/throw-guarded store calls.

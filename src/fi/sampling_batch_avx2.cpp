@@ -1,0 +1,57 @@
+// AVX2 variant of the noise-draw -> table-index conversion, compiled
+// only when the SFI_ENABLE_AVX2 CMake toggle is on (this TU gets -mavx2;
+// the dispatcher in sampling_batch.cpp still checks the CPU at runtime).
+//
+// Bit-identity with noise_draws_to_indices_scalar relies on using only
+// unfused IEEE operations: vmaxpd/vminpd match std::min/std::max for the
+// non-NaN inputs Rng::normal_fill produces, vmulpd/vaddpd/vdivpd are the
+// same correctly-rounded primitives the scalar loop compiles to (the
+// default build never contracts to FMA), and vcvttpd2dq truncates toward
+// zero exactly like the scalar static_cast.
+#include "fi/sampling_batch.hpp"
+
+#if defined(SFI_ENABLE_AVX2)
+
+#include <immintrin.h>
+
+namespace sfi {
+
+void noise_draws_to_indices_avx2(const double* draws, std::uint32_t* indices,
+                                 std::size_t n, double clip_mv,
+                                 double clip_v, std::size_t entries) {
+    const __m256d neg_clip = _mm256_set1_pd(-clip_mv);
+    const __m256d pos_clip = _mm256_set1_pd(clip_mv);
+    const __m256d to_volts = _mm256_set1_pd(1e-3);
+    const __m256d offset = _mm256_set1_pd(clip_v);
+    const __m256d span = _mm256_set1_pd(2.0 * clip_v);
+    const __m256d scale =
+        _mm256_set1_pd(static_cast<double>(entries - 1));
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i max_index =
+        _mm_set1_epi32(static_cast<int>(entries - 1));
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256d x = _mm256_loadu_pd(draws + i);
+        x = _mm256_max_pd(x, neg_clip);
+        x = _mm256_min_pd(x, pos_clip);
+        const __m256d noise_v = _mm256_mul_pd(x, to_volts);
+        const __m256d t =
+            _mm256_div_pd(_mm256_add_pd(noise_v, offset), span);
+        const __m256d biased =
+            _mm256_add_pd(_mm256_mul_pd(t, scale), half);
+        __m128i idx = _mm256_cvttpd_epi32(biased);
+        idx = _mm_max_epi32(idx, zero);
+        idx = _mm_min_epi32(idx, max_index);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(indices + i), idx);
+    }
+    if (i < n) {
+        noise_draws_to_indices_scalar(draws + i, indices + i, n - i,
+                                      clip_mv, clip_v, entries);
+    }
+}
+
+}  // namespace sfi
+
+#endif  // SFI_ENABLE_AVX2

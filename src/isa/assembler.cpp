@@ -1,6 +1,7 @@
 #include "isa/assembler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
@@ -465,8 +466,11 @@ private:
 }  // namespace
 
 Program assemble(const std::string& source) {
+    static std::atomic<std::uint64_t> next_build_id{1};
     AssemblerImpl impl;
-    return impl.run(source);
+    Program program = impl.run(source);
+    program.build_id = next_build_id.fetch_add(1, std::memory_order_relaxed);
+    return program;
 }
 
 }  // namespace sfi

@@ -42,6 +42,11 @@ struct Program {
     std::vector<Section> sections;
     std::uint32_t entry = 0;
     std::map<std::string, std::uint32_t> symbols;
+    /// Unique per assemble() call (0 for hand-built Programs). Lets
+    /// consumers that cache per-program state (Cpu::reset's fast path)
+    /// distinguish two distinct assemblies even when the object and its
+    /// heap buffers land at recycled addresses.
+    std::uint64_t build_id = 0;
 
     /// Total image size in bytes across all sections.
     std::size_t byte_size() const;

@@ -81,6 +81,10 @@ TrialOutcome MonteCarloRunner::run_trial_with(Cpu& cpu, FaultModel& model,
                                               const OperatingPoint& point,
                                               std::uint64_t trial) const {
     model.set_operating_point(point);
+    // Memoized like the point: a no-op after the first trial. Applied
+    // before reseed() so a mode switch's batch invalidation cannot drop
+    // draws from the fresh stream.
+    model.set_sampling_mode(config_.fault_sampling);
     model.reset_stats();
     // Independent, reproducible stream per trial: (seed, trial) fully
     // determines the model's draws, so equal indices reproduce identical

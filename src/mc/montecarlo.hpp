@@ -60,6 +60,11 @@ struct McConfig {
     /// clean simulation; Legacy remains as the reference semantics and for
     /// A/B measurement (bench --dispatch legacy).
     CpuDispatch dispatch = CpuDispatch::Threaded;
+    /// Draw-stream mode applied to the fault model each trial
+    /// (fi/sampling_batch.hpp). Batched prefetches whole blocks of noise
+    /// draws and is bit-identical to Scalar (proven by the differential
+    /// suite); Quantized is the fingerprinted alias-sampled variant.
+    FaultSamplingMode fault_sampling = FaultSamplingMode::Batched;
 };
 
 /// Result of one fault-injected run of a benchmark.

@@ -10,6 +10,7 @@ const char* phase_name(Phase phase) {
         case Phase::Decode: return "decode";
         case Phase::TrialRun: return "trial_run";
         case Phase::Aggregation: return "aggregation";
+        case Phase::FaultSamplingBatch: return "fault_sampling_batch";
     }
     return "?";
 }

@@ -40,9 +40,10 @@ enum class Phase : std::uint8_t {
     Decode,         ///< micro-op lowering for threaded dispatch (per word)
     TrialRun,       ///< Monte-Carlo trial execution (ISS runs)
     Aggregation,    ///< folding TrialOutcomes into PointSummaries
+    FaultSamplingBatch,  ///< batched corrupt() evaluation (per ALU op)
 };
 
-inline constexpr std::size_t kPhaseCount = 6;
+inline constexpr std::size_t kPhaseCount = 7;
 
 /// Stable snake_case identifier used in the JSON schema ("dta_eval", ...).
 const char* phase_name(Phase phase);

@@ -6,7 +6,7 @@
 //
 //   {
 //     "schema": "sfi-bench-core",
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "config":   { seed, dta_cycles, trials, benchmark, dispatch },
 //                 (v2: "dispatch" records the ISS execution engine the
 //                  kernels ran under — the regression gate refuses to
@@ -14,11 +14,18 @@
 //                  recorded for the threaded engine)
 //     "phases":   [ { phase, seconds, calls, items } x kPhaseCount ],
 //                 (v2: the phase list gained "decode" — micro-op lowering
-//                  for the threaded-dispatch interpreter)
+//                  for the threaded-dispatch interpreter; v3: it gained
+//                  "fault_sampling_batch" — block-prefetched draw
+//                  sampling, fi/sampling_batch.hpp)
 //     "kernels":  [ { label, model, benchmark, freq_mhz, vdd, sigma_mv,
 //                     trials, fast_path,
 //                     scaling: [ { threads, seconds, trials_per_sec } ] } ],
 //     "fast_path": { sim_trials_per_sec, fastpath_trials_per_sec, speedup },
+//     "fault_sampling": { scalar_ops_per_sec, batched_ops_per_sec,
+//                         quantized_ops_per_sec, batched_speedup, avx2 },
+//                 (v3: within-run comparison of the draw->index sampling
+//                  kernels; batched_speedup is machine-independent like
+//                  fast_path.speedup and is held to a baseline floor)
 //     "campaign":  { figure, seconds, trials_spent } | null,
 //     "wall_clock_s": ...
 //   }
@@ -39,7 +46,7 @@
 
 namespace sfi::perf {
 
-inline constexpr int kSchemaVersion = 2;
+inline constexpr int kSchemaVersion = 3;
 
 /// One (thread count, duration) sample of a kernel bench.
 struct ThreadSample {
@@ -69,6 +76,19 @@ struct FastPathResult {
     double speedup = 0.0;                  ///< fastpath / sim
 };
 
+/// Within-run throughput of the draw -> table-index sampling paths
+/// (bench_fault_sampling in bench/sfi_perf.cpp): synthetic ALU-op streams
+/// through model B+ under each FaultSamplingMode. batched_speedup
+/// (batched / scalar) is machine-independent, like FastPathResult's
+/// ratio, so the regression gate holds it to a hard floor.
+struct FaultSamplingResult {
+    double scalar_ops_per_sec = 0.0;
+    double batched_ops_per_sec = 0.0;
+    double quantized_ops_per_sec = 0.0;
+    double batched_speedup = 0.0;  ///< batched / scalar
+    bool avx2 = false;  ///< AVX2 conversion kernel compiled in and active
+};
+
 /// Wall clock of a small end-to-end figure campaign (store disabled, so
 /// every point is computed).
 struct CampaignSample {
@@ -86,6 +106,7 @@ struct PerfReport {
     PhaseProfile phases;
     std::vector<KernelBench> kernels;
     FastPathResult fast_path;
+    FaultSamplingResult fault_sampling;
     std::optional<CampaignSample> campaign;
     double wall_clock_s = 0.0;
 };

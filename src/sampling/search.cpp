@@ -38,7 +38,7 @@ PoffSearchResult find_poff_bisection(const ProbeFn& probe,
         const double risk =
             failing ? 0.0
                     : 1.0 - wilson_interval(summary.correct_count,
-                                            summary.trials)
+                                            summary.trials, config.z)
                                 .lo;
         result.sweep.push_back(std::move(summary));
         return std::pair<bool, double>(failing, risk);
@@ -134,13 +134,18 @@ PoffSearchResult find_poff_bisection(const MonteCarloRunner& runner,
                                      const SamplingPolicy& policy,
                                      std::size_t threads) {
     BatchedExecutor executor(runner, threads);
+    // Quote pass_risk at the policy's confidence, not the default z —
+    // a policy running at z = 3 expects its residual risk bound at the
+    // same level its stopping rule used.
+    PoffSearchConfig cfg = config;
+    cfg.z = policy.z;
     return find_poff_bisection(
         [&](const OperatingPoint& point) {
             return run_point_sequential(executor, point, policy,
                                         runner.config().trials)
                 .summary;
         },
-        base, config);
+        base, cfg);
 }
 
 }  // namespace sfi::sampling

@@ -38,6 +38,10 @@ struct PoffSearchConfig {
     /// Stop bisecting once hi - lo <= tol_mhz.
     double tol_mhz = 2.0;
     std::size_t max_expand = 4;
+    /// z-score used for the pass_risk Wilson bound at passing probes.
+    /// The policy overload copies SamplingPolicy::z here so the residual
+    /// risk is quoted at the same confidence the stopping rule used.
+    double z = 1.96;
     /// Checked before every probe; true stops the search cleanly with
     /// the bracket found so far (campaign cancellation hook).
     std::function<bool()> cancelled;
@@ -56,7 +60,8 @@ struct PoffSearchResult {
     /// finding a crossing.
     double lo_mhz = 0.0;
     double hi_mhz = 0.0;
-    /// 95 % Wilson upper bound on the per-trial failure probability
+    /// Wilson upper bound (at PoffSearchConfig::z) on the per-trial
+    /// failure probability
     /// still compatible with the all-correct observation at the final
     /// passing edge — the residual risk that the true PoFF sits at or
     /// below lo. 1.0 when no probe ever passed (the PoFF certainly is).

@@ -105,6 +105,10 @@ SequentialResult run_point_sequential(BatchedExecutor& executor,
 
     const std::size_t batch = std::max<std::size_t>(policy.batch_size, 1);
     const std::size_t ceiling = std::max<std::size_t>(policy.max_trials, 1);
+    // Normalize here, not only in the factories: a policy built by hand
+    // (or parsed from flags) with min_trials > max_trials must still
+    // terminate at the ceiling instead of looping on an unreachable floor.
+    const std::size_t floor_trials = std::min(policy.min_trials, ceiling);
 
     if (policy.kind == SamplingPolicy::Kind::TwoStage) {
         // Stage 1: the screen. One cheap look; if the point is pinned to
@@ -124,7 +128,7 @@ SequentialResult run_point_sequential(BatchedExecutor& executor,
     // Wilson half-widths are at or below the target, with floor/ceiling.
     for (;;) {
         const std::size_t done = result.summary.trials;
-        if (done >= policy.min_trials &&
+        if (done >= floor_trials &&
             max_half_width(result.summary, policy.z) <= policy.ci_half_width) {
             result.converged = true;
             return result;

@@ -27,6 +27,7 @@
 #include "fi/core_model.hpp"
 #include "fi/models.hpp"
 #include "fi/noise.hpp"
+#include "fi/sampling_batch.hpp"
 #include "isa/assembler.hpp"
 #include "isa/encoding.hpp"
 #include "isa/isa.hpp"

@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include "campaign/figures.hpp"
+#include "campaign/spec.hpp"
+#include "fi/core_model.hpp"
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -178,6 +182,53 @@ TEST_F(PointStoreTest, ForeignFileIsTreatedAsEmptyAndRewritten) {
     PointStore reopened(path_);
     EXPECT_EQ(reopened.size(), 1u);
     EXPECT_TRUE(reopened.lookup(9).has_value());
+}
+
+TEST_F(PointStoreTest, QuantizedSamplingNeverHitsBatchedEntries) {
+    // "B-q" (alias-sampled noise) changes the statistics of every
+    // faulting point, so its results must live under different store
+    // keys than Scalar/Batched runs — while Scalar and Batched, being
+    // bit-identical, must share keys so a batched rollout still hits
+    // every summary a scalar campaign wrote.
+    CampaignSpec spec;
+    spec.name = "modes";
+    spec.trials = 12;
+    spec.seed = 5;
+    PanelSpec panel;
+    panel.name = "panel_a";
+    panel.kernel = KernelSpec::bench(BenchmarkId::Median);
+    panel.model = ModelSpec::c();
+    panel.base.vdd = 0.7;
+    panel.base.noise.sigma_mv = 10.0;
+    panel.grid = GridSpec::explicit_values({700.0, 720.0});
+    spec.panels.push_back(panel);
+
+    OperatingPoint point;
+    point.freq_mhz = 715.0;
+    point.vdd = 0.7;
+    point.noise.sigma_mv = 10.0;
+
+    CoreModelConfig config;
+    config.fault_sampling = FaultSamplingMode::Scalar;
+    const std::uint64_t fp_scalar = core_config_fingerprint(config);
+    config.fault_sampling = FaultSamplingMode::Batched;
+    const std::uint64_t fp_batched = core_config_fingerprint(config);
+    config.fault_sampling = FaultSamplingMode::Quantized;
+    const std::uint64_t fp_quantized = core_config_fingerprint(config);
+    ASSERT_EQ(fp_scalar, fp_batched);
+    ASSERT_NE(fp_quantized, fp_batched);
+
+    const std::uint64_t key_batched =
+        point_key(spec, spec.panels[0], fp_batched, point);
+    const std::uint64_t key_quantized =
+        point_key(spec, spec.panels[0], fp_quantized, point);
+    EXPECT_EQ(key_batched, point_key(spec, spec.panels[0], fp_scalar, point));
+    ASSERT_NE(key_batched, key_quantized);
+
+    PointStore store(path_);
+    store.insert(key_batched, sample_summary(715.0));
+    EXPECT_TRUE(store.lookup(key_batched).has_value());
+    EXPECT_FALSE(store.lookup(key_quantized).has_value());
 }
 
 }  // namespace

@@ -372,6 +372,94 @@ TEST_F(CpuTest, StepSingleInstruction) {
     EXPECT_EQ(*stop, StopReason::Halted);
 }
 
+// reset() fast path: when the same Program is reset repeatedly (the MC
+// trial loop), the checkpointed memory image is restored instead of a
+// full clear+load. The contract is that a fast reset is observationally
+// identical to a full one — these tests run programs whose OUTCOME
+// depends on pristine initial memory, so a leaky reset changes exit
+// codes rather than passing silently.
+
+namespace {
+// Increments an in-section counter word and exits with its new value:
+// returns 1 on pristine memory, 2+ if a previous trial's write survived.
+const char* const kCounterSource =
+    "  l.movhi r4,hi(counter)\n"
+    "  l.ori r4,r4,lo(counter)\n"
+    "  l.lwz r3,0(r4)\n"
+    "  l.addi r3,r3,1\n"
+    "  l.sw 0(r4),r3\n"
+    "  l.nop 1\n"
+    "counter:\n"
+    "  .word 0\n";
+}  // namespace
+
+TEST_F(CpuTest, RepeatedResetOfSameProgramRestoresInitialState) {
+    const Program p = assemble(kCounterSource);
+    cpu.reset(p);
+    const RunResult first = cpu.run();
+    ASSERT_EQ(first.stop, StopReason::Halted);
+    ASSERT_EQ(first.exit_code, 1u);
+    std::vector<std::uint32_t> regs_first(32);
+    for (std::uint8_t i = 0; i < 32; ++i) regs_first[i] = cpu.reg(i);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        cpu.reset(p);  // same Program object: eligible for the fast path
+        const RunResult again = cpu.run();
+        EXPECT_EQ(again.stop, StopReason::Halted) << "trial " << trial;
+        EXPECT_EQ(again.exit_code, 1u) << "trial " << trial;
+        EXPECT_EQ(again.cycles, first.cycles) << "trial " << trial;
+        EXPECT_EQ(again.instructions, first.instructions) << "trial " << trial;
+        for (std::uint8_t i = 0; i < 32; ++i)
+            ASSERT_EQ(cpu.reg(i), regs_first[i])
+                << "trial " << trial << " reg " << int(i);
+    }
+}
+
+TEST_F(CpuTest, FastResetRevertsWritesOutsideProgramSections) {
+    // The program also scribbles far beyond its own image; after a fast
+    // reset, memory must be word-for-word what a fresh clear+load gives.
+    const Program p = assemble(
+        "  l.movhi r4,0x0000\n"
+        "  l.ori r4,r4,0x8000\n"
+        "  l.addi r5,r0,77\n"
+        "  l.sw 0(r4),r5\n"
+        "  l.sw 0x100(r4),r5\n"
+        "  l.addi r3,r0,1\n"
+        "  l.nop 1\n");
+    cpu.reset(p);
+    ASSERT_EQ(cpu.run().exit_code, 1u);
+    cpu.reset(p);
+
+    Memory pristine{1 << 16};
+    pristine.load(p);
+    for (std::uint32_t addr = 0; addr < (1u << 16); addr += 4)
+        ASSERT_EQ(memory.read_u32(addr), pristine.read_u32(addr))
+            << "addr " << addr;
+}
+
+TEST_F(CpuTest, ResetToADifferentProgramSwitchesCleanly) {
+    const Program counter = assemble(kCounterSource);
+    const Program other = assemble("  l.addi r3,r0,9\n  l.nop 1\n");
+    cpu.reset(counter);
+    EXPECT_EQ(cpu.run().exit_code, 1u);
+    cpu.reset(other);
+    EXPECT_EQ(cpu.run().exit_code, 9u);
+    cpu.reset(counter);  // back again: still sees a zeroed counter word
+    EXPECT_EQ(cpu.run().exit_code, 1u);
+}
+
+TEST_F(CpuTest, ReassembledProgramIsNotMistakenForTheCachedOne) {
+    // Re-assigning a fresh assembly into the SAME Program object reuses
+    // its address: the identity signature must look at contents, not the
+    // pointer, or the stale checkpoint image would resurrect program A.
+    Program p = assemble(kCounterSource);
+    cpu.reset(p);
+    EXPECT_EQ(cpu.run().exit_code, 1u);
+    p = assemble("  l.addi r3,r0,33\n  l.nop 1\n");
+    cpu.reset(p);
+    EXPECT_EQ(cpu.run().exit_code, 33u);
+}
+
 TEST_F(CpuTest, SelfModifyingCodeInvalidatesDecodeCache) {
     // The instruction at `patch` (l.addi r3,r0,1) is executed once, then
     // overwritten with l.addi r3,r0,2 and executed again: a stale decode

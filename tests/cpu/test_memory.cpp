@@ -134,6 +134,106 @@ TEST(Memory, LoadMarksProgramSectionsDirty) {
     EXPECT_EQ(m.read_u32(0x8000), 0u);
 }
 
+// checkpoint_image() / restore_image(): the per-trial Cpu::reset fast
+// path. The invariant is stronger than "looks restored": every byte must
+// equal the checkpoint state, wherever later writes landed, and the write
+// generation must only advance when contents actually changed.
+
+TEST(Memory, RestoreImageRevertsEveryByte) {
+    Memory m(4096);
+    const Program p = assemble(
+        "  l.nop\n"
+        ".org 0x800\n"
+        "  .word 0x12345678\n");
+    m.load(p);
+    m.checkpoint_image();
+    ASSERT_TRUE(m.has_image());
+
+    // Writes inside the image span, beyond it, and at the extremes.
+    m.write_u32(0x800, 0xdeadbeefu);
+    m.write_u8(0, 0x55);
+    m.write_u32(0xc00, 0x777u);  // past every program section
+    m.write_u8(4095, 0xee);
+    ASSERT_GT(m.bytes_since_checkpoint(), 0u);
+
+    ASSERT_TRUE(m.restore_image());
+    EXPECT_EQ(m.bytes_since_checkpoint(), 0u);
+    EXPECT_EQ(m.read_u32(0x800), 0x12345678u);
+    EXPECT_NE(m.read_u32(0), 0u);  // the l.nop encoding survived
+    EXPECT_EQ(m.read_u32(0xc00), 0u);
+    EXPECT_EQ(m.read_u8(4095), 0u);
+}
+
+TEST(Memory, RestoreImageEqualsClearPlusLoad) {
+    const Program p = assemble(
+        "  l.nop\n"
+        ".org 0x100\n"
+        "  .word 0xcafef00d\n");
+    Memory restored(4096);
+    restored.load(p);
+    restored.checkpoint_image();
+    restored.write_u32(0x100, 1u);
+    restored.write_u32(0x400, 2u);
+    ASSERT_TRUE(restored.restore_image());
+
+    Memory reloaded(4096);
+    reloaded.load(p);
+    for (std::uint32_t addr = 0; addr < 4096; addr += 4)
+        ASSERT_EQ(restored.read_u32(addr), reloaded.read_u32(addr))
+            << "addr " << addr;
+}
+
+TEST(Memory, RestoreImageAdvancesWriteGenOnlyOnChange) {
+    Memory m(4096);
+    m.write_u32(64, 0xabcdu);
+    m.checkpoint_image();
+
+    // Nothing written since the checkpoint: restore is a no-op and must
+    // NOT advance the generation (the decode caches stay trusted).
+    const std::uint64_t g0 = m.write_generation();
+    ASSERT_TRUE(m.restore_image());
+    EXPECT_EQ(m.write_generation(), g0);
+
+    m.write_u32(128, 7u);
+    const std::uint64_t g1 = m.write_generation();
+    ASSERT_TRUE(m.restore_image());
+    EXPECT_GT(m.write_generation(), g1);
+    EXPECT_EQ(m.read_u32(128), 0u);
+    EXPECT_EQ(m.read_u32(64), 0xabcdu);
+}
+
+TEST(Memory, RestoreImageSupportsRepeatedTrialCycles) {
+    // The MC loop's pattern: checkpoint once, then write+restore per trial.
+    Memory m(4096);
+    const Program p = assemble("  l.nop\n  .word 41\n");
+    m.load(p);
+    m.checkpoint_image();
+    for (int trial = 0; trial < 4; ++trial) {
+        m.write_u32(512 + 4 * trial, 0x1000u + trial);
+        m.write_u8(4000, static_cast<std::uint8_t>(trial));
+        ASSERT_TRUE(m.restore_image()) << "trial " << trial;
+        EXPECT_EQ(m.read_u32(4), 41u) << "trial " << trial;
+        EXPECT_EQ(m.read_u32(512 + 4 * trial), 0u) << "trial " << trial;
+        EXPECT_EQ(m.read_u8(4000), 0u) << "trial " << trial;
+    }
+}
+
+TEST(Memory, ClearDiscardsTheImage) {
+    Memory m(64);
+    m.write_u32(8, 42u);
+    m.checkpoint_image();
+    m.clear();
+    EXPECT_FALSE(m.has_image());
+    EXPECT_FALSE(m.restore_image());  // no checkpoint: reports failure
+    EXPECT_EQ(m.read_u32(8), 0u);
+}
+
+TEST(Memory, FreshMemoryHasNoImage) {
+    Memory m(64);
+    EXPECT_FALSE(m.has_image());
+    EXPECT_FALSE(m.restore_image());
+}
+
 TEST(Memory, RepeatedLoadClearCyclesStayClean) {
     // The trial loop's access pattern: load -> run (writes) -> clear.
     Memory m(4096);

@@ -121,6 +121,8 @@ TEST(PhaseProfile, PhaseNamesAreStableIdentifiers) {
     EXPECT_STREQ(phase_name(Phase::Decode), "decode");
     EXPECT_STREQ(phase_name(Phase::TrialRun), "trial_run");
     EXPECT_STREQ(phase_name(Phase::Aggregation), "aggregation");
+    EXPECT_STREQ(phase_name(Phase::FaultSamplingBatch),
+                 "fault_sampling_batch");
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +340,7 @@ PerfReport make_report() {
     kernel.scaling.push_back({4, 0.0625, 4096.0});
     report.kernels.push_back(kernel);
     report.fast_path = {700.0, 42000.0, 60.0};
+    report.fault_sampling = {2.9e7, 4.3e7, 8.9e7, 1.48, false};
     report.campaign = CampaignSample{"fig1", 1.5, 330};
     report.wall_clock_s = 5.75;
     return report;
@@ -360,8 +363,8 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
     // Top-level schema: exact keys in exact order (the stability contract
     // scripts/check_perf_regression.py and artifact diffs rely on).
     const std::vector<std::string> expected_keys = {
-        "schema", "schema_version", "config",    "phases",
-        "kernels", "fast_path",     "campaign",  "wall_clock_s"};
+        "schema",    "schema_version", "config",   "phases",      "kernels",
+        "fast_path", "fault_sampling", "campaign", "wall_clock_s"};
     EXPECT_EQ(doc->object_key_order, expected_keys);
     EXPECT_EQ(doc->at("schema").string, "sfi-bench-core");
     EXPECT_EQ(doc->at("schema_version").number, kSchemaVersion);
@@ -381,6 +384,8 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
     EXPECT_EQ(phases[4]->at("phase").string, "trial_run");
     EXPECT_EQ(phases[5]->at("phase").string, "aggregation");
     EXPECT_EQ(phases[5]->at("calls").number, 0.0);
+    // Schema v3 appended "fault_sampling_batch" (block-prefetched draws).
+    EXPECT_EQ(phases[6]->at("phase").string, "fault_sampling_batch");
 
     const auto& kernels = doc->at("kernels").array;
     ASSERT_EQ(kernels.size(), 1u);
@@ -393,6 +398,17 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
         4096.0);
 
     EXPECT_DOUBLE_EQ(doc->at("fast_path").at("speedup").number, 60.0);
+    // Schema v3: the within-run fault-sampling comparison the perf gate
+    // reads (batched_speedup is its machine-independent floor metric).
+    EXPECT_DOUBLE_EQ(doc->at("fault_sampling").at("scalar_ops_per_sec").number,
+                     2.9e7);
+    EXPECT_DOUBLE_EQ(
+        doc->at("fault_sampling").at("batched_ops_per_sec").number, 4.3e7);
+    EXPECT_DOUBLE_EQ(
+        doc->at("fault_sampling").at("quantized_ops_per_sec").number, 8.9e7);
+    EXPECT_DOUBLE_EQ(doc->at("fault_sampling").at("batched_speedup").number,
+                     1.48);
+    EXPECT_FALSE(doc->at("fault_sampling").at("avx2").boolean);
     EXPECT_EQ(doc->at("campaign").at("figure").string, "fig1");
     EXPECT_EQ(doc->at("campaign").at("trials_spent").number, 330.0);
     EXPECT_DOUBLE_EQ(doc->at("wall_clock_s").number, 5.75);

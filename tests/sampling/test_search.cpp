@@ -70,6 +70,24 @@ TEST(PoffBisection, ConvergesToAnIntervalContainingTheThreshold) {
     EXPECT_DOUBLE_EQ(*grid_poff, result.hi_mhz);
 }
 
+TEST(PoffBisection, PassRiskHonorsTheConfiguredZScore) {
+    // Regression: probe() used the default z for its Wilson bound, so a
+    // policy asking for 3-sigma confidence silently got 1.96-sigma
+    // residuals. The pass_risk must be computed at config.z exactly.
+    PoffSearchConfig config;
+    config.lo_mhz = 650.0;
+    config.hi_mhz = 800.0;
+    config.tol_mhz = 1.0;
+    config.z = 3.0;
+
+    const PoffSearchResult result =
+        find_poff_bisection(step_probe(713.7, 20), base_point(), config);
+    ASSERT_TRUE(result.bracketed);
+    EXPECT_DOUBLE_EQ(result.pass_risk, 1.0 - wilson_interval(20, 20, 3.0).lo);
+    // A wider z gives a strictly larger residual than the 1.96 default.
+    EXPECT_GT(result.pass_risk, 1.0 - wilson_interval(20, 20).lo);
+}
+
 TEST(PoffBisection, ExpandsDownwardWhenBothEdgesFail) {
     const double f_star = 500.0;
     PoffSearchConfig config;

@@ -100,6 +100,37 @@ TEST(SequentialSampling, TargetCiRespectsTheCeiling) {
     EXPECT_EQ(result.batches, 4u);
 }
 
+TEST(SequentialSampling, HandBuiltFloorAboveCeilingStillTerminatesAtCeiling) {
+    // Regression: only the factories clamped min_trials to max_trials.
+    // A hand-built policy with min_trials > max_trials made the stopping
+    // rule unreachable — the run burned the ceiling and came back
+    // non-converged even on a trivially decided point. The engine must
+    // normalize the floor itself.
+    const auto bench = make_benchmark(BenchmarkId::Median);
+    auto model = shared_core().make_model_c();
+    MonteCarloRunner runner = make_runner(*bench, *model, 100, 2);
+
+    SamplingPolicy policy;
+    policy.kind = SamplingPolicy::Kind::TargetCi;
+    policy.ci_half_width = 0.15;  // satisfiable at 10 unanimous trials
+    policy.batch_size = 10;
+    policy.min_trials = 50;  // inconsistent on purpose
+    policy.max_trials = 10;
+    const auto result =
+        sampling::run_point_sequential(runner, safe_point(), policy, 2);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.summary.trials, 10u);
+    EXPECT_EQ(result.summary.correct_count, 10u);
+}
+
+TEST(SequentialSampling, FactoriesClampTheFloorToTheCeiling) {
+    SamplingPolicy ci = SamplingPolicy::target_ci(0.05, 10);
+    EXPECT_LE(ci.min_trials, ci.max_trials);
+    EXPECT_EQ(ci.min_trials, 10u);
+    SamplingPolicy two = SamplingPolicy::two_stage(25, 0.15, 0.05, 10);
+    EXPECT_LE(two.min_trials, two.max_trials);
+}
+
 TEST(SequentialSampling, AdaptiveRunIsThreadCountIndependent) {
     const auto bench = make_benchmark(BenchmarkId::Median);
     OperatingPoint cliff;
