@@ -36,6 +36,17 @@
 //                    but a distinct sampling distribution variant — model
 //                    names gain a "-q" suffix and store/cache keys are
 //                    salted so results never collide with exact runs).
+//   --trace PATH     write a JSONL run ledger (src/obs/ledger.hpp) of the
+//                    campaign — spans, probes, stopping decisions,
+//                    counters. Analyze or convert it with bench/sfi_trace.
+//   --trace-mode M   "wall" (default: full event stream with wall-clock
+//                    timestamps) or "logical" (byte-stable spec narrative
+//                    for CI diffing; timestamps zeroed)
+//   --quiet          suppress the live `point k/N, trials/s, ETA` stderr
+//                    progress line (it is TTY-gated anyway)
+//
+// Tracing never changes results: CSVs and manifests are byte-identical
+// with --trace on or off (ledger emission is observation-only).
 //
 // Flags outside this set (plus a bench's declared extras) produce a
 // warning on stderr but are still parsed — typos like `--trails` no
@@ -51,6 +62,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,7 +77,8 @@ inline std::vector<std::string> known_flags(std::vector<std::string> extra) {
                                       "no-store", "csv-dir", "no-csv",
                                       "watchdog-factor", "sampling",
                                       "ci-target", "max-trials", "batch",
-                                      "dispatch", "fault-sampling"};
+                                      "dispatch", "fault-sampling",
+                                      "trace", "trace-mode", "quiet"};
     known.insert(known.end(), std::make_move_iterator(extra.begin()),
                  std::make_move_iterator(extra.end()));
     return known;
@@ -82,6 +95,10 @@ struct Context {
     sampling::SamplingPolicy sampling;
     std::string csv_dir;
     std::string store_path;
+    /// Run ledger (--trace); null unless the flag was given. Owned here so
+    /// it outlives the campaign and flushes/closes at Context destruction.
+    std::unique_ptr<obs::Ledger> ledger;
+    bool quiet = false;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();
 
@@ -111,6 +128,22 @@ struct Context {
             csv_dir = cli.get("csv-dir", "bench_csv");
         if (!cli.get_bool("no-store", false))
             store_path = cli.get("store", "sfi_point_store.bin");
+        quiet = cli.get_bool("quiet", false);
+        if (const std::string trace = cli.get("trace", ""); !trace.empty()) {
+            const std::string mode_name = cli.get("trace-mode", "wall");
+            const auto mode = obs::parse_trace_mode(mode_name);
+            if (!mode) {
+                std::cerr << "error: --trace-mode must be one of logical, "
+                             "wall (got \"" << mode_name << "\")\n";
+                std::exit(2);
+            }
+            try {
+                ledger = std::make_unique<obs::Ledger>(trace, *mode);
+            } catch (const std::exception& e) {
+                std::cerr << "error: " << e.what() << "\n";
+                std::exit(2);
+            }
+        }
     }
 
     /// Builds the characterized core (prints a one-line summary).
@@ -148,13 +181,16 @@ struct Context {
     }
 
     /// Store/CSV/threads wiring for a campaign run from this bench.
-    campaign::RunOptions campaign_options() const {
+    /// (Non-const: the campaign writes through the Context-owned ledger.)
+    campaign::RunOptions campaign_options() {
         campaign::RunOptions options;
         options.store_path = store_path;
         options.csv_dir = csv_dir;
         options.threads = threads;
         options.dispatch = dispatch;
         options.console = &std::cout;
+        options.ledger = ledger.get();
+        options.progress = !quiet;
         return options;
     }
 

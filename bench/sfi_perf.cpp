@@ -283,6 +283,10 @@ int main(int argc, char** argv) {
         campaign::RunOptions options;
         options.threads = ctx.threads;
         options.dispatch = ctx.dispatch;
+        // Campaign counters land in the report's v4 "metrics" block (and
+        // in the --trace ledger when one is attached).
+        options.metrics = &report.metrics;
+        options.ledger = ctx.ledger.get();
         perf::Stopwatch watch;
         campaign::CampaignRunner runner(std::move(spec), std::move(options));
         const campaign::CampaignResult result = runner.run();

@@ -1,0 +1,253 @@
+// sfi_trace: analysis tool for --trace run ledgers (src/obs/ledger.hpp).
+//
+//   sfi_trace LEDGER.jsonl                 run summary on stdout
+//   sfi_trace LEDGER.jsonl --export-chrome OUT.json
+//                                          Chrome trace-event conversion
+//                                          (load OUT.json in Perfetto or
+//                                          chrome://tracing)
+//
+// The summary reports, per panel: points, Monte-Carlo trials, stopping
+// classifications and probe counts; campaign-wide it reports the point
+// store hit ratio, worker-lane utilization and the accuracy of the live
+// ETA estimates. Ratio/utilization/ETA sections need wall-mode data and
+// print "n/a (logical ledger)" on a logical-mode file.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sfi/sfi.hpp"
+
+namespace {
+
+using sfi::obs::LedgerEvent;
+using sfi::obs::LedgerFile;
+
+struct PanelRow {
+    std::string name;
+    std::string kind;
+    std::string model;
+    std::string kernel;
+    std::uint64_t points = 0;
+    std::uint64_t trials = 0;
+    std::uint64_t probes = 0;
+    std::map<std::string, std::uint64_t> stops;  ///< stop rule -> points
+    bool completed = true;
+};
+
+struct Summary {
+    std::string campaign;
+    std::string fingerprint;
+    std::string mode;
+    bool completed = true;
+    bool cancelled = false;
+    std::uint64_t trials_spent = 0;
+    double span_us = 0.0;  ///< campaign B -> E (wall mode)
+    std::vector<PanelRow> panels;
+    std::map<std::string, std::uint64_t> counters;  ///< ledger "C" events
+    std::map<std::uint64_t, double> worker_busy_us;
+    std::vector<std::pair<double, double>> eta;  ///< (ts_us, eta_s) samples
+    std::vector<std::string> warnings;
+};
+
+Summary summarize(const LedgerFile& file) {
+    Summary s;
+    s.mode = sfi::obs::trace_mode_name(file.mode);
+    // Panels never nest, so B/E "panel" events pair up in stream order;
+    // the same holds for the single "campaign" span.
+    PanelRow* open_panel = nullptr;
+    for (const LedgerEvent& ev : file.events) {
+        if (ev.name == "campaign") {
+            if (ev.ph == 'B') {
+                s.campaign = ev.arg_string("name");
+                s.fingerprint = ev.arg_string("spec_fingerprint");
+            } else if (ev.ph == 'E') {
+                s.trials_spent = ev.arg_uint("trials_spent");
+                s.completed = ev.arg_bool("completed");
+                s.span_us = ev.ts_us;
+            }
+        } else if (ev.name == "panel") {
+            if (ev.ph == 'B') {
+                PanelRow row;
+                row.name = ev.arg_string("name");
+                row.kind = ev.arg_string("kind");
+                row.model = ev.arg_string("model");
+                row.kernel = ev.arg_string("kernel");
+                s.panels.push_back(std::move(row));
+                open_panel = &s.panels.back();
+            } else if (ev.ph == 'E' && open_panel != nullptr) {
+                open_panel->points = ev.arg_uint("points");
+                open_panel->trials = ev.arg_uint("trials_spent");
+                if (ev.has_arg("completed"))
+                    open_panel->completed = ev.arg_bool("completed");
+                open_panel = nullptr;
+            }
+        } else if (ev.name == "point" && ev.ph == 'E') {
+            if (open_panel != nullptr)
+                ++open_panel->stops[ev.arg_string("stop")];
+        } else if (ev.name == "probe") {
+            if (open_panel != nullptr) ++open_panel->probes;
+        } else if (ev.name == "cancelled") {
+            s.cancelled = true;
+        } else if (ev.name == "store_warning") {
+            s.warnings.push_back(ev.arg_string("kind") + " on " +
+                                 ev.arg_string("path"));
+        } else if (ev.name == "progress" && ev.ph == 'i') {
+            const double eta_s = ev.arg_double("eta_s", -1.0);
+            if (eta_s >= 0.0) s.eta.emplace_back(ev.ts_us, eta_s);
+        } else if (ev.ph == 'C') {
+            s.counters[ev.name] =
+                static_cast<std::uint64_t>(ev.arg_double("value", 0.0));
+        } else if (ev.ph == 'X' && ev.tid >= 1) {
+            s.worker_busy_us[ev.tid] += ev.dur_us;
+        }
+    }
+    return s;
+}
+
+void print_summary(const Summary& s) {
+    std::printf("campaign %s  (%s)\n",
+                s.campaign.empty() ? "<unnamed>" : s.campaign.c_str(),
+                s.fingerprint.c_str());
+    std::printf("mode     %s\n", s.mode.c_str());
+    std::printf("status   %s\n", s.cancelled          ? "cancelled"
+                                 : s.completed        ? "completed"
+                                                      : "incomplete");
+    std::printf("trials   %llu\n\n",
+                static_cast<unsigned long long>(s.trials_spent));
+
+    if (!s.panels.empty()) {
+        std::printf("%-24s %-8s %-5s %-10s %7s %10s  %s\n", "panel", "kind",
+                    "model", "kernel", "points", "trials", "stopping");
+        for (const PanelRow& row : s.panels) {
+            std::string stops;
+            for (const auto& [rule, count] : row.stops) {
+                if (!stops.empty()) stops += ", ";
+                stops += rule + ":" + std::to_string(count);
+            }
+            if (row.probes > 0)
+                stops += (stops.empty() ? "" : ", ") + std::string("probes:") +
+                         std::to_string(row.probes);
+            if (!row.completed) stops += " (incomplete)";
+            std::printf("%-24s %-8s %-5s %-10s %7llu %10llu  %s\n",
+                        row.name.c_str(), row.kind.c_str(), row.model.c_str(),
+                        row.kernel.c_str(),
+                        static_cast<unsigned long long>(row.points),
+                        static_cast<unsigned long long>(row.trials),
+                        stops.c_str());
+        }
+        std::printf("\n");
+    }
+
+    // The volatile sections: store traffic, lane utilization and ETA
+    // accuracy only exist in wall-mode ledgers (logical mode records the
+    // spec narrative only — see obs/ledger.hpp).
+    const bool logical = s.mode == "logical";
+    const auto counter = [&](const char* name) -> std::uint64_t {
+        const auto it = s.counters.find(name);
+        return it == s.counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t hits = counter("run.store_hits");
+    const std::uint64_t misses = counter("run.store_misses");
+    if (logical)
+        std::printf("store    n/a (logical ledger)\n");
+    else if (hits + misses == 0)
+        std::printf("store    no lookups recorded\n");
+    else
+        std::printf("store    %llu hits / %llu misses (%.1f%% hit ratio)\n",
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(misses),
+                    100.0 * static_cast<double>(hits) /
+                        static_cast<double>(hits + misses));
+
+    if (logical) {
+        std::printf("workers  n/a (logical ledger)\n");
+    } else if (s.worker_busy_us.empty()) {
+        std::printf("workers  no worker lanes recorded\n");
+    } else {
+        std::printf("workers  %zu lanes", s.worker_busy_us.size());
+        if (s.span_us > 0.0) {
+            double busy = 0.0;
+            for (const auto& [tid, us] : s.worker_busy_us) busy += us;
+            const double util =
+                busy / (s.span_us *
+                        static_cast<double>(s.worker_busy_us.size()));
+            std::printf(", %.1f%% mean utilization over the campaign span",
+                        100.0 * util);
+        }
+        std::printf("\n");
+    }
+
+    if (logical) {
+        std::printf("eta      n/a (logical ledger)\n");
+    } else if (s.eta.size() < 2 || s.span_us <= 0.0) {
+        std::printf("eta      not enough progress samples\n");
+    } else {
+        // Each progress instant predicted the remaining time; the ledger
+        // knows the actual remainder (campaign end minus the instant).
+        double abs_err_s = 0.0;
+        std::size_t n = 0;
+        for (const auto& [ts_us, eta_s] : s.eta) {
+            if (ts_us >= s.span_us) continue;
+            const double actual_s = (s.span_us - ts_us) / 1e6;
+            abs_err_s += std::fabs(eta_s - actual_s);
+            ++n;
+        }
+        if (n == 0)
+            std::printf("eta      not enough progress samples\n");
+        else
+            std::printf("eta      %zu estimates, mean abs error %.2f s\n", n,
+                        abs_err_s / static_cast<double>(n));
+    }
+
+    for (const std::string& warning : s.warnings)
+        std::printf("warning  store recovery: %s\n", warning.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const sfi::Cli cli(argc, argv, {"export-chrome"});
+    for (const std::string& flag : cli.unknown_flags())
+        std::fprintf(stderr, "warning: unknown flag --%s (ignored)\n",
+                     flag.c_str());
+    if (cli.positional().size() != 1) {
+        std::fprintf(stderr,
+                     "usage: %s LEDGER.jsonl [--export-chrome OUT.json]\n",
+                     cli.program().c_str());
+        return 2;
+    }
+    const std::string& path = cli.positional().front();
+
+    LedgerFile file;
+    try {
+        file = sfi::obs::read_ledger_file(path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    const std::string out = cli.get("export-chrome", "");
+    if (!out.empty()) {
+        std::ofstream os(out);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+            return 1;
+        }
+        sfi::obs::export_chrome_trace(file, os);
+        os.flush();
+        if (!os) {
+            std::fprintf(stderr, "error: write to %s failed\n", out.c_str());
+            return 1;
+        }
+        std::printf("[chrome-trace] %zu events -> %s\n", file.events.size(),
+                    out.c_str());
+        return 0;
+    }
+
+    print_summary(summarize(file));
+    return 0;
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event export from `sfi_trace --export-chrome`.
+
+Checks the invariants trace viewers (Perfetto / chrome://tracing)
+actually require, so CI catches a malformed export before a human loads
+it:
+
+  1. the file is valid JSON with a `traceEvents` array;
+  2. every event uses the pinned phase vocabulary (B/E/i/X/C/M);
+  3. B/E spans nest properly per (pid, tid) lane and every B is closed;
+  4. X events carry a non-negative `dur`, instants carry scope "t";
+  5. lanes referenced by events are named via thread_name metadata.
+
+Usage: check_trace.py TRACE_JSON
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "X", "C", "M"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {sys.argv[1]}: {err}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("missing or empty traceEvents array")
+
+    stacks = {}       # (pid, tid) -> [open span names]
+    named_lanes = set()
+    used_lanes = set()
+    counts = {ph: 0 for ph in ALLOWED_PHASES}
+
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        counts[ph] += 1
+        lane = (event.get("pid"), event.get("tid"))
+
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_lanes.add(lane)
+            continue
+
+        used_lanes.add(lane)
+        if ph == "B":
+            stacks.setdefault(lane, []).append(event.get("name"))
+        elif ph == "E":
+            stack = stacks.get(lane, [])
+            if not stack:
+                fail(f"{where}: E {event.get('name')!r} without open B "
+                     f"on lane {lane}")
+            opened = stack.pop()
+            if opened != event.get("name"):
+                fail(f"{where}: E {event.get('name')!r} closes B "
+                     f"{opened!r} on lane {lane}")
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: X event with bad dur {dur!r}")
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                fail(f"{where}: instant without a valid scope")
+
+    for lane, stack in stacks.items():
+        if stack:
+            fail(f"unclosed span(s) on lane {lane}: {stack}")
+    unnamed = used_lanes - named_lanes
+    if unnamed:
+        fail(f"lanes without thread_name metadata: {sorted(unnamed)}")
+    if counts["B"] != counts["E"]:
+        fail(f"span imbalance: {counts['B']} B vs {counts['E']} E")
+
+    total = sum(counts.values())
+    print(f"check_trace: OK: {total} events "
+          f"({counts['B']} spans, {counts['X']} worker slices, "
+          f"{counts['i']} instants, {counts['C']} counters) on "
+          f"{len(used_lanes)} lane(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 #include "campaign/point_store.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -63,8 +64,21 @@ PointSummary load_point_summary(std::istream& is) {
     return summary;
 }
 
-PointStore::PointStore(std::string path) : path_(std::move(path)) {
-    if (!path_.empty()) load_file();
+const char* store_diagnostic_name(StoreDiagnostic::Kind kind) {
+    switch (kind) {
+        case StoreDiagnostic::Kind::ForeignFile: return "foreign-file";
+        case StoreDiagnostic::Kind::CorruptTail: return "corrupt-tail";
+        case StoreDiagnostic::Kind::BitRot: return "bit-rot";
+    }
+    return "unknown";
+}
+
+PointStore::PointStore(std::string path, obs::Ledger* ledger)
+    : path_(std::move(path)), ledger_(ledger) {
+    if (!path_.empty()) {
+        load_file();
+        report_diagnostics();
+    }
 }
 
 void PointStore::load_file() {
@@ -83,27 +97,51 @@ void PointStore::load_file() {
         // Foreign or old-format file: read as empty; the first insert
         // rewrites it from scratch.
         recovered_bytes_ = ec ? 0 : file_size;
+        diagnostics_.push_back({StoreDiagnostic::Kind::ForeignFile,
+                                recovered_bytes_, 0});
         return;
     }
     header_ok_ = true;
 
     std::uint64_t good_end = kHeaderBytes;
     std::vector<char> payload;
+    auto damage = StoreDiagnostic::Kind::CorruptTail;
+    bool damaged = false;
     for (;;) {
         std::uint64_t key = 0;
         std::uint32_t size = 0;
-        if (!get(is, key) || !get(is, size)) break;
-        if (size > kMaxPayload) break;
+        if (!get(is, key)) {
+            // A clean end of file fails the key read with nothing
+            // consumed; any partial read is a torn record.
+            damaged = is.gcount() > 0;
+            break;
+        }
+        if (!get(is, size)) {
+            damaged = true;
+            break;
+        }
+        if (size > kMaxPayload) {
+            damaged = true;  // corrupt size field, not a record
+            break;
+        }
         payload.resize(size);
         is.read(payload.data(), size);
         std::uint64_t stored_hash = 0;
-        if (!is || !get(is, stored_hash)) break;
-        if (Fingerprint().bytes(payload.data(), size).value() != stored_hash)
-            break;  // bit rot / torn write: drop this record and the rest
+        if (!is || !get(is, stored_hash)) {
+            damaged = true;
+            break;
+        }
+        if (Fingerprint().bytes(payload.data(), size).value() != stored_hash) {
+            // Bit rot / torn write: drop this record and the rest.
+            damaged = true;
+            damage = StoreDiagnostic::Kind::BitRot;
+            break;
+        }
         std::istringstream ps(std::string(payload.data(), size));
         try {
             entries_[key] = load_point_summary(ps);
         } catch (const std::exception&) {
+            damaged = true;
             break;
         }
         good_end += sizeof key + sizeof size + size + sizeof stored_hash;
@@ -111,6 +149,30 @@ void PointStore::load_file() {
     valid_bytes_ = good_end;
     if (!ec && file_size > valid_bytes_)
         recovered_bytes_ = file_size - valid_bytes_;
+    if (damaged)
+        diagnostics_.push_back({damage, recovered_bytes_, entries_.size()});
+}
+
+void PointStore::report_diagnostics() const {
+    for (const StoreDiagnostic& diag : diagnostics_) {
+        if (ledger_ != nullptr) {
+            ledger_->instant(
+                "store_warning",
+                {{"kind", store_diagnostic_name(diag.kind)},
+                 {"path", path_},
+                 {"dropped_bytes", diag.dropped_bytes},
+                 {"records_loaded",
+                  static_cast<std::uint64_t>(diag.records_loaded)}});
+        } else {
+            std::fprintf(
+                stderr,
+                "sfi: point store %s: %s — dropped %llu byte(s), "
+                "%zu record(s) loaded\n",
+                path_.c_str(), store_diagnostic_name(diag.kind),
+                static_cast<unsigned long long>(diag.dropped_bytes),
+                diag.records_loaded);
+        }
+    }
 }
 
 void PointStore::append_record(std::uint64_t key, const PointSummary& summary) {

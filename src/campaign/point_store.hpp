@@ -37,10 +37,31 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "mc/montecarlo.hpp"
+#include "obs/ledger.hpp"
 
 namespace sfi::campaign {
+
+/// One recovery anomaly observed while opening a store file. These used
+/// to happen silently; they now surface as ledger "store_warning" events
+/// (both trace modes — corruption is the documented exception to the
+/// logical byte-stability contract) or, without a ledger, as one stderr
+/// line each.
+struct StoreDiagnostic {
+    enum class Kind : std::uint8_t {
+        ForeignFile,  ///< wrong magic/version: read as empty, rewritten later
+        CorruptTail,  ///< truncated record at EOF (torn write): tail dropped
+        BitRot,       ///< payload hash mismatch: record + tail dropped
+    };
+    Kind kind = Kind::CorruptTail;
+    std::uint64_t dropped_bytes = 0;   ///< bytes discarded from the file
+    std::size_t records_loaded = 0;    ///< intact records before the damage
+};
+
+/// Stable short name ("foreign-file", "corrupt-tail", "bit-rot").
+const char* store_diagnostic_name(StoreDiagnostic::Kind kind);
 
 /// Raw binary serialization of one PointSummary. Doubles are written as
 /// their object representation, so load(save(x)) == x bit for bit
@@ -55,8 +76,10 @@ public:
 
     /// Opens (or creates on first insert) the store at `path`, loading
     /// every intact record. Corrupt or truncated trailing data is
-    /// dropped; `recovered_bytes()` reports how much.
-    explicit PointStore(std::string path);
+    /// dropped; `recovered_bytes()` reports how much and `diagnostics()`
+    /// says why. Each anomaly is emitted as a "store_warning" event on
+    /// `ledger` when one is attached, else as a line on stderr.
+    explicit PointStore(std::string path, obs::Ledger* ledger = nullptr);
 
     PointStore(const PointStore&) = delete;
     PointStore& operator=(const PointStore&) = delete;
@@ -76,8 +99,16 @@ public:
     /// Bytes of corrupt/truncated trailing data discarded while opening.
     std::uint64_t recovered_bytes() const { return recovered_bytes_; }
 
+    /// Recovery anomalies observed while opening (empty for a healthy
+    /// file). At most one per open with the current recovery strategy —
+    /// loading stops at the first bad record.
+    const std::vector<StoreDiagnostic>& diagnostics() const {
+        return diagnostics_;
+    }
+
 private:
     void load_file();
+    void report_diagnostics() const;
     void append_record(std::uint64_t key, const PointSummary& summary);
 
     std::string path_;
@@ -86,6 +117,8 @@ private:
     bool header_ok_ = false;           ///< file exists with a valid header
     std::uint64_t valid_bytes_ = 0;    ///< good prefix length of the file
     std::uint64_t recovered_bytes_ = 0;
+    std::vector<StoreDiagnostic> diagnostics_;
+    obs::Ledger* ledger_ = nullptr;    ///< warning sink (may be null)
 };
 
 }  // namespace sfi::campaign

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <ostream>
+#include <iostream>
 #include <stdexcept>
 
 #include "isa/isa.hpp"
@@ -35,6 +35,21 @@ std::string hex64(std::uint64_t value) {
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(value));
     return buf;
+}
+
+const char* model_kind_name(ModelSpec::Kind kind) {
+    switch (kind) {
+        case ModelSpec::Kind::A: return "A";
+        case ModelSpec::Kind::B: return "B";
+        case ModelSpec::Kind::C: return "C";
+    }
+    return "unknown";
+}
+
+const char* panel_kind_name(const PanelSpec& panel) {
+    if (panel.poff) return "poff";
+    return panel.kernel.kind == KernelSpec::Kind::Benchmark ? "mc"
+                                                            : "opstream";
 }
 
 /// Grid resolution shared by MC and CDF panels. `first_fault` is only
@@ -93,7 +108,7 @@ bool CampaignRunner::ConditionedStoreKey::operator<(
 CampaignRunner::CampaignRunner(CampaignSpec spec, RunOptions options)
     : spec_(std::move(spec)),
       options_(std::move(options)),
-      store_(options_.store_path) {}
+      store_(options_.store_path, options_.ledger) {}
 
 CampaignRunner::~CampaignRunner() = default;
 
@@ -263,6 +278,24 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
     const OperatingPoint& base = resolved.base;
     const std::vector<double>& axis_values = resolved.axis_values;
 
+    obs::Ledger* const led = options_.ledger;
+    const bool wall = led != nullptr && !led->logical();
+    if (led != nullptr)
+        led->begin(
+            "panel",
+            {{"name", panel.name},
+             {"kind", panel_kind_name(panel)},
+             {"model", panel.model.kind == ModelSpec::Kind::B &&
+                               base.noise.sigma_mv > 0.0
+                           ? "B+"
+                           : model_kind_name(panel.model.kind)},
+             {"kernel", panel.kernel.kind == KernelSpec::Kind::Benchmark
+                            ? benchmark_name(panel.kernel.benchmark)
+                            : ex_class_name(panel.kernel.cls)}});
+    if (progress_)
+        progress_->begin_panel(panel.name,
+                               panel.poff ? 0 : axis_values.size());
+
     // The executors are built lazily: a fully warm panel (every point in
     // the store) skips model construction, the golden reference run and
     // any conditioned re-characterization entirely.
@@ -286,27 +319,77 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
             mc = std::make_unique<MonteCarloRunner>(*bench, *model, config);
             executor = std::make_unique<sampling::BatchedExecutor>(
                 *mc, options_.threads);
+            executor->set_observer(options_.ledger, &metrics());
         }
     };
 
     // Store-backed point computation shared by the grid sweep and the
     // PoFF probes: every completed summary is keyed (with the policy
     // fingerprint when adaptive) and persisted before the next one runs.
+    //
+    // Ledger narrative: a "point" B/E span per point in both trace modes
+    // (its payload — operating point, trial totals, stopping rule — is a
+    // pure function of the spec), with the volatile details (store
+    // traffic, batch spans, trajectories) only in wall mode. The stopping
+    // rule is always re-derived via classify_stop so warm store hits and
+    // cold computations report identical classifications.
+    std::size_t point_index = 0;
     const auto compute_point = [&](const OperatingPoint& point) {
         const std::uint64_t key = point_key(spec_, panel, core_fp, point);
+        if (led != nullptr)
+            led->begin("point",
+                       {{"panel", panel.name},
+                        {"index", static_cast<std::uint64_t>(point_index)},
+                        {"freq_mhz", point.freq_mhz},
+                        {"vdd", point.vdd},
+                        {"sigma_mv", point.noise.sigma_mv}});
+        PointSummary summary;
         if (auto stored = store_.lookup(key)) {
             ++result.store_hits;
-            return std::move(*stored);
+            metrics().add("run.store_hits");
+            if (wall) led->instant("store_hit", {{"key", "0x" + hex64(key)}});
+            summary = std::move(*stored);
+        } else {
+            if (wall) led->instant("store_miss", {{"key", "0x" + hex64(key)}});
+            ensure_executor();
+            summary =
+                panel.kernel.kind == KernelSpec::Kind::Benchmark
+                    ? sampling::run_point_sequential(*executor, point, policy,
+                                                     spec_.trials)
+                          .summary
+                    : compute_op_stream_point(panel, *model, point);
+            if (wall) led->begin("store_insert", {{"key", "0x" + hex64(key)}});
+            store_.insert(key, summary);
+            if (wall) led->end("store_insert");
+            ++result.store_misses;
+            metrics().add("run.store_misses");
         }
-        ensure_executor();
-        PointSummary summary =
+        const sampling::StopRule stop =
             panel.kernel.kind == KernelSpec::Kind::Benchmark
-                ? sampling::run_point_sequential(*executor, point, policy,
-                                                 spec_.trials)
-                      .summary
-                : compute_op_stream_point(panel, *model, point);
-        store_.insert(key, summary);
-        ++result.store_misses;
+                ? sampling::classify_stop(summary, policy)
+                : sampling::StopRule::Fixed;
+        ++result.stopping[static_cast<std::size_t>(stop)];
+        metrics().add("campaign.points");
+        metrics().add("campaign.trials_spent", summary.trials);
+        if (led != nullptr)
+            led->end("point",
+                     {{"trials", summary.trials},
+                      {"finished", summary.finished_count},
+                      {"correct", summary.correct_count},
+                      {"stop", sampling::stop_rule_name(stop)},
+                      {"half_width",
+                       sampling::max_half_width(summary, policy.z)}});
+        ++point_index;
+        if (progress_) {
+            progress_->point_done();
+            if (wall)
+                led->instant(
+                    "progress",
+                    {{"points_done",
+                      static_cast<std::uint64_t>(progress_->points_done())},
+                     {"eta_s", progress_->eta_s()},
+                     {"trials_per_sec", progress_->trials_per_sec()}});
+        }
         return summary;
     };
 
@@ -321,6 +404,9 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
         // Probes run under `policy` (via compute_point), so their residual
         // pass_risk must be quoted at the policy's z, not the default.
         search.z = policy.z;
+        // Probe verdicts are a pure function of the spec, so the search
+        // emits them in both trace modes.
+        search.ledger = options_.ledger;
         const sampling::PoffSearchResult found =
             sampling::find_poff_bisection(compute_point, base, search);
         result.sweep = found.sweep;
@@ -328,6 +414,7 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
         result.poff = PoffOutcome{found.bracketed, found.lo_mhz,
                                   found.hi_mhz, found.pass_risk,
                                   found.probes};
+        metrics().add("campaign.probes", found.probes);
     } else {
         result.sweep.reserve(axis_values.size());
         for (const double value : axis_values) {
@@ -345,6 +432,25 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
     }
     for (const PointSummary& summary : result.sweep)
         result.trials_spent += summary.trials;
+    metrics().add("panel." + panel.name + ".points", result.sweep.size());
+    metrics().add("panel." + panel.name + ".trials_spent",
+                  result.trials_spent);
+    if (progress_) progress_->end_panel();
+    if (led != nullptr) {
+        const auto points = static_cast<std::uint64_t>(result.sweep.size());
+        if (result.poff)
+            led->end("panel",
+                     {{"points", points},
+                      {"trials_spent", result.trials_spent},
+                      {"completed", result.completed},
+                      {"poff_bracketed", result.poff->bracketed},
+                      {"poff_lo_mhz", result.poff->lo_mhz},
+                      {"poff_hi_mhz", result.poff->hi_mhz}});
+        else
+            led->end("panel", {{"points", points},
+                               {"trials_spent", result.trials_spent},
+                               {"completed", result.completed}});
+    }
     if (!result.completed) return result;
 
     if (options_.console && panel.print_table) {
@@ -390,6 +496,10 @@ CdfPanelResult CampaignRunner::run_cdf_panel(const CdfPanelSpec& panel) {
     CdfPanelResult result;
     result.name = panel.name;
 
+    obs::Ledger* const led = options_.ledger;
+    if (led != nullptr)
+        led->begin("panel", {{"name", panel.name}, {"kind", "cdf"}});
+
     const CharacterizedCore& campaign_core = core();
     const TimingErrorCdfs& cdfs = *campaign_core.cdfs();
     // CDF panels have no base operating point or model, so the symbolic
@@ -429,6 +539,10 @@ CdfPanelResult CampaignRunner::run_cdf_panel(const CdfPanelSpec& panel) {
         for (const auto& row : result.rows) csv.row(row);
         csv.close();  // surface write failures like the sweep CSVs do
     }
+    metrics().add("panel." + panel.name + ".points", result.rows.size());
+    if (led != nullptr)
+        led->end("panel",
+                 {{"points", static_cast<std::uint64_t>(result.rows.size())}});
     return result;
 }
 
@@ -463,6 +577,19 @@ void CampaignRunner::write_manifest(CampaignResult& result) {
            << "\", \"kind\": \"" << (panel.poff ? "poff" : "mc")
            << "\", \"points\": " << panel.sweep.size()
            << ", \"trials_spent\": " << panel.trials_spent;
+        // Stopping classifications are derived from the final summaries
+        // (classify_stop), so they are a pure function of the spec and
+        // belong to the stable section: warm and cold runs agree.
+        {
+            using sampling::StopRule;
+            const auto count = [&](StopRule rule) {
+                return panel.stopping[static_cast<std::size_t>(rule)];
+            };
+            os << ", \"stopping\": {\"fixed\": " << count(StopRule::Fixed)
+               << ", \"ci_met\": " << count(StopRule::CiMet)
+               << ", \"max_trials\": " << count(StopRule::MaxTrials)
+               << ", \"screen\": " << count(StopRule::Screen) << "}";
+        }
         // The PoFF crossing (paper §4.2): dense frequency panels report
         // the grid estimate, bisection panels the bracket — both land in
         // the stable part, they are pure functions of the spec.
@@ -521,6 +648,24 @@ CampaignResult CampaignRunner::run() {
     result.name = spec_.name;
     result.spec_fingerprint = spec_.fingerprint();
 
+    obs::Ledger* const led = options_.ledger;
+    const bool wall = led != nullptr && !led->logical();
+    if (led != nullptr)
+        led->begin("campaign",
+                   {{"name", spec_.name},
+                    {"spec_fingerprint", "0x" + hex64(result.spec_fingerprint)},
+                    {"panels", static_cast<std::uint64_t>(spec_.panels.size() +
+                                                          spec_.cdf_panels.size())},
+                    {"trials", static_cast<std::uint64_t>(spec_.trials)},
+                    {"seed", spec_.seed}});
+    // Always constructed while running: wall-mode ledgers want the ETA
+    // estimates even when stderr is not a TTY (console == nullptr then).
+    progress_ = std::make_unique<obs::ProgressReporter>(
+        options_.progress && obs::stderr_is_tty() ? &std::cerr : nullptr,
+        &metrics());
+    if (store_.recovered_bytes() > 0)
+        metrics().add("run.store_recovered_bytes", store_.recovered_bytes());
+
     if (!options_.csv_dir.empty())
         std::filesystem::create_directories(options_.csv_dir);
 
@@ -553,6 +698,30 @@ CampaignResult CampaignRunner::run() {
                         std::chrono::steady_clock::now() - t0)
                         .count();
     write_manifest(result);
+    progress_.reset();
+
+    if (led != nullptr) {
+        if (!result.completed)
+            // The cancellation instant is part of the stable narrative:
+            // whether a run was cancelled is an input, not a measurement.
+            led->instant("cancelled",
+                         {{"panels_done",
+                           static_cast<std::uint64_t>(result.panels.size())}});
+        if (wall)
+            led->instant("run_stats",
+                         {{"store_hits",
+                           static_cast<std::uint64_t>(result.store_hits)},
+                          {"store_misses",
+                           static_cast<std::uint64_t>(result.store_misses)},
+                          {"wall_s", result.wall_s},
+                          {"threads",
+                           static_cast<std::uint64_t>(options_.threads)}});
+        led->emit_metrics(metrics());
+        led->end("campaign",
+                 {{"trials_spent", result.trials_spent},
+                  {"completed", result.completed}});
+        led->flush();
+    }
 
     if (options_.console) {
         *options_.console << "[campaign " << spec_.name << "] "

@@ -24,6 +24,7 @@
 // with fixed-N points.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -36,6 +37,9 @@
 #include "campaign/point_store.hpp"
 #include "campaign/spec.hpp"
 #include "fi/core_model.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 
 namespace sfi::campaign {
 
@@ -65,6 +69,19 @@ struct RunOptions {
     /// drivers hook their bespoke per-panel console headers here.
     std::function<void(const PanelSpec&, const CharacterizedCore&)>
         on_panel_start;
+    /// Run ledger (bench --trace); null = no tracing. The runner emits
+    /// the campaign/panel/point narrative, probe verdicts and stopping
+    /// classifications in both trace modes, and store traffic, batch
+    /// spans, worker lanes and progress estimates in wall mode only —
+    /// see obs/ledger.hpp for the determinism contract.
+    obs::Ledger* ledger = nullptr;
+    /// External metrics registry to accumulate into (sfi_perf threads the
+    /// perf-report registry through here); null = the runner uses an
+    /// internal one, readable via CampaignRunner::metrics().
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Live per-panel `point k/N, trials/s, ETA` line on stderr. Only
+    /// printed when stderr is a TTY; bench drivers map --quiet to false.
+    bool progress = false;
 };
 
 /// Outcome of a PoffSearchSpec panel: the bisection bracket around the
@@ -89,6 +106,11 @@ struct PanelResult {
     /// policies shrink; the manifest records it per panel so the saving
     /// is auditable.
     std::uint64_t trials_spent = 0;
+    /// Points by stopping classification, indexed by sampling::StopRule.
+    /// Derived from the final summaries via classify_stop, so it is a
+    /// pure function of the spec — warm and cold runs agree byte for byte
+    /// (the manifest records it in the stable section).
+    std::array<std::uint64_t, sampling::kStopRuleCount> stopping{};
     std::optional<PoffOutcome> poff;  ///< set for PoffSearchSpec panels
     std::string csv_path;    ///< "" when CSV is disabled or panel incomplete
     bool completed = true;   ///< false when the campaign was cancelled mid-panel
@@ -135,6 +157,12 @@ public:
     /// Executes every panel (store-backed) and writes CSVs + manifest.
     CampaignResult run();
 
+    /// The registry campaign counters accumulate into — RunOptions::
+    /// metrics when set, else an internal instance.
+    obs::MetricsRegistry& metrics() {
+        return options_.metrics != nullptr ? *options_.metrics : metrics_;
+    }
+
 private:
     struct ConditionedStoreKey {
         std::uint64_t core_fingerprint;
@@ -165,6 +193,10 @@ private:
     CampaignSpec spec_;
     RunOptions options_;
     PointStore store_;
+    obs::MetricsRegistry metrics_;  ///< used when options_.metrics is null
+    /// Owned by run(): per-panel progress state (always constructed so
+    /// wall-mode ledgers get ETA events even without a TTY).
+    std::unique_ptr<obs::ProgressReporter> progress_;
     /// Cores cached by configuration fingerprint (panel overrides).
     std::map<std::uint64_t, std::unique_ptr<CharacterizedCore>> cores_;
     std::map<ConditionedStoreKey, std::shared_ptr<const TimingErrorCdfs>>

@@ -141,6 +141,17 @@ public:
     /// Prototype fault model (cloned once per parallel worker).
     const FaultModel& model() const { return *model_; }
 
+    /// True when run_trial_with would take the zero-fault fast path for
+    /// trials of `model` at `point` (the model proves it cannot inject
+    /// there and the golden run fits the watchdog). Stamps the point on
+    /// the model — a memoized no-op after the model ran trials at it.
+    /// Used by the observability layer to tag fast-path points.
+    bool fast_path_active(FaultModel& model, const OperatingPoint& point) const {
+        model.set_operating_point(point);
+        return config_.zero_fault_fast_path && !model.can_inject() &&
+               golden_.cycles <= watchdog_cycles_;
+    }
+
     /// Attaches a perf profile (null detaches). run_point charges the
     /// trial loop to Phase::TrialRun and the summary fold to
     /// Phase::Aggregation (items = trials); micro-op lowering is charged

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/ledger.hpp"
+
 namespace sfi {
 
 std::size_t resolve_thread_count(std::size_t requested) {
@@ -101,7 +103,8 @@ std::vector<std::unique_ptr<TrialContext>> make_trial_contexts(
 std::vector<TrialOutcome> run_trial_block(
     const MonteCarloRunner& runner, const OperatingPoint& point,
     std::uint64_t first_trial, std::size_t count,
-    const std::vector<std::unique_ptr<TrialContext>>& contexts) {
+    const std::vector<std::unique_ptr<TrialContext>>& contexts,
+    obs::Ledger* ledger) {
     const std::size_t threads =
         std::clamp<std::size_t>(contexts.size(), 1,
                                 std::max<std::size_t>(count, 1));
@@ -110,14 +113,43 @@ std::vector<TrialOutcome> run_trial_block(
     // cost spread; 8 grabs per worker amortizes the counter traffic.
     const std::size_t chunk = std::max<std::size_t>(count / (threads * 8), 1);
 
+    // Per-worker activity buffers: each is written by exactly one worker
+    // (cache-line padded against false sharing) and read by the dispatch
+    // thread only after the join below — the ledger itself is never
+    // touched from a worker. Ledger::now_us() is const over immutable
+    // state, so concurrent reads are safe.
+    const bool record = ledger != nullptr && !ledger->logical();
+    struct alignas(64) WorkerActivity {
+        double first_us = 0.0;
+        double last_us = 0.0;
+        std::uint64_t trials = 0;
+    };
+    std::vector<WorkerActivity> activity(record ? contexts.size() : 0);
+
     std::vector<TrialOutcome> outcomes(count);
     for_each_trial(count, threads, chunk,
                    [&](std::size_t worker, std::uint64_t offset) {
+                       if (record && activity[worker].trials == 0)
+                           activity[worker].first_us = ledger->now_us();
                        TrialContext& context = *contexts[worker];
                        outcomes[offset] = runner.run_trial_with(
                            context.cpu, *context.model, point,
                            first_trial + offset);
+                       if (record) {
+                           activity[worker].last_us = ledger->now_us();
+                           ++activity[worker].trials;
+                       }
                    });
+    if (record) {
+        for (std::size_t worker = 0; worker < activity.size(); ++worker) {
+            const WorkerActivity& a = activity[worker];
+            if (a.trials == 0) continue;
+            ledger->worker_span(
+                worker + 1, "trials", a.first_us,
+                std::max(0.0, a.last_us - a.first_us),
+                {{"trials", a.trials}, {"first_trial", first_trial}});
+        }
+    }
     return outcomes;
 }
 

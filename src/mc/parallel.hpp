@@ -23,6 +23,10 @@
 
 #include "mc/montecarlo.hpp"
 
+namespace sfi::obs {
+class Ledger;
+}
+
 namespace sfi {
 
 /// Resolves a requested worker count: 0 = one per hardware thread
@@ -79,9 +83,17 @@ std::vector<std::unique_ptr<TrialContext>> make_trial_contexts(
 /// draws from the (seed, i) stream wherever the block boundaries fall —
 /// so the union of consecutive blocks is exactly what one call over the
 /// whole range would have produced.
+///
+/// When a wall-mode `ledger` is attached, each worker accumulates its
+/// first/last activity timestamps and trial count in a per-thread buffer
+/// (no locks, no shared writes) and the dispatch thread drains them into
+/// one "trials" span per active worker lane after the block joins.
+/// Logical-mode ledgers record nothing here — worker activity is
+/// scheduling-dependent, so it is wall-only by the determinism contract.
 std::vector<TrialOutcome> run_trial_block(
     const MonteCarloRunner& runner, const OperatingPoint& point,
     std::uint64_t first_trial, std::size_t count,
-    const std::vector<std::unique_ptr<TrialContext>>& contexts);
+    const std::vector<std::unique_ptr<TrialContext>>& contexts,
+    obs::Ledger* ledger = nullptr);
 
 }  // namespace sfi

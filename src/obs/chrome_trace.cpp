@@ -1,0 +1,98 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "perf/json_writer.hpp"
+
+namespace sfi::obs {
+
+namespace {
+
+/// Re-emits a raw ledger JSON value through the writer. The ledger only
+/// produces strings, numbers and booleans at this level, so anything else
+/// is passed through as its raw text.
+void raw_value(perf::JsonWriter& json, const std::string& raw) {
+    if (!raw.empty() && raw[0] == '"') {
+        // Round-trip through the event helper is unnecessary: the slice is
+        // already a quoted JSON string; strip the quotes and unescape via a
+        // minimal path — LedgerEvent::arg_string handles full unescaping,
+        // but here we only have the raw slice, so rebuild an event arg.
+        LedgerEvent tmp;
+        tmp.args.emplace_back("v", raw);
+        json.value(tmp.arg_string("v"));
+        return;
+    }
+    if (raw == "true" || raw == "false") {
+        json.value(raw == "true");
+        return;
+    }
+    json.value(std::strtod(raw.c_str(), nullptr));
+}
+
+void event_common(perf::JsonWriter& json, const LedgerEvent& event) {
+    json.field("pid", std::uint64_t{1});
+    json.field("tid", event.tid);
+    json.field("ts", event.ts_us);
+}
+
+}  // namespace
+
+void export_chrome_trace(const LedgerFile& ledger, std::ostream& os) {
+    perf::JsonWriter json(os);
+    json.begin_object();
+    json.key("traceEvents");
+    json.begin_array();
+
+    json.begin_object();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", std::uint64_t{1});
+    json.key("args");
+    json.begin_object();
+    json.field("name", "sfi run");
+    json.end_object();
+    json.end_object();
+
+    std::set<std::uint64_t> tids;
+    for (const LedgerEvent& event : ledger.events) tids.insert(event.tid);
+    for (const std::uint64_t tid : tids) {
+        json.begin_object();
+        json.field("name", "thread_name");
+        json.field("ph", "M");
+        json.field("pid", std::uint64_t{1});
+        json.field("tid", tid);
+        json.key("args");
+        json.begin_object();
+        json.field("name", tid == 0 ? std::string("dispatch")
+                                    : "worker " + std::to_string(tid));
+        json.end_object();
+        json.end_object();
+    }
+
+    for (const LedgerEvent& event : ledger.events) {
+        json.begin_object();
+        json.field("name", event.name);
+        json.field("ph", std::string_view(&event.ph, 1));
+        event_common(json, event);
+        if (event.ph == 'X') json.field("dur", event.dur_us);
+        if (event.ph == 'i') json.field("s", "t");
+        if (!event.args.empty()) {
+            json.key("args");
+            json.begin_object();
+            for (const auto& [key, raw] : event.args) {
+                json.key(key);
+                raw_value(json, raw);
+            }
+            json.end_object();
+        }
+        json.end_object();
+    }
+
+    json.end_array();
+    json.field("displayTimeUnit", "ms");
+    json.end_object();  // the writer terminates the document with \n
+}
+
+}  // namespace sfi::obs

@@ -1,0 +1,20 @@
+// Converts a parsed ledger into Chrome trace-event JSON, viewable in
+// chrome://tracing or https://ui.perfetto.dev. The ledger's event phases
+// already follow the trace-event vocabulary, so the export is mostly a
+// re-framing: events land in {"traceEvents":[...]} with pid 1, the
+// dispatch thread on tid 0 and worker lanes on tid 1..N, plus "M"
+// metadata events naming each lane. Counter events become "C" samples so
+// trial totals plot as tracks.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/ledger.hpp"
+
+namespace sfi::obs {
+
+/// Writes Chrome trace JSON for `ledger` to `os`. Output is deterministic
+/// for a given ledger (stable key order, round-trippable numbers).
+void export_chrome_trace(const LedgerFile& ledger, std::ostream& os);
+
+}  // namespace sfi::obs

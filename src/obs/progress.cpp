@@ -1,0 +1,105 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sfi::obs {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string human_rate(double per_sec) {
+    char buf[32];
+    if (per_sec >= 1e6) {
+        std::snprintf(buf, sizeof buf, "%.1fM", per_sec / 1e6);
+    } else if (per_sec >= 1e3) {
+        std::snprintf(buf, sizeof buf, "%.1fk", per_sec / 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0f", per_sec);
+    }
+    return buf;
+}
+
+std::string human_eta(double seconds) {
+    char buf[32];
+    if (seconds >= 600.0) {
+        std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+    }
+    return buf;
+}
+
+}  // namespace
+
+bool stderr_is_tty() {
+#if defined(__unix__) || defined(__APPLE__)
+    return isatty(fileno(stderr)) != 0;
+#else
+    return false;
+#endif
+}
+
+ProgressReporter::ProgressReporter(std::ostream* console,
+                                   const MetricsRegistry* metrics)
+    : console_(console), metrics_(metrics) {}
+
+void ProgressReporter::begin_panel(const std::string& name,
+                                   std::size_t total_points) {
+    panel_ = name;
+    total_ = total_points;
+    done_ = 0;
+    eta_s_ = 0.0;
+    tps_ = 0.0;
+    trials_at_start_ =
+        metrics_ != nullptr ? metrics_->counter("campaign.trials_spent") : 0;
+    t0_ns_ = steady_now_ns();
+}
+
+void ProgressReporter::point_done() {
+    ++done_;
+    const double elapsed_s =
+        static_cast<double>(steady_now_ns() - t0_ns_) / 1e9;
+    const std::uint64_t trials =
+        (metrics_ != nullptr ? metrics_->counter("campaign.trials_spent")
+                             : 0) -
+        trials_at_start_;
+    tps_ = elapsed_s > 0.0 ? static_cast<double>(trials) / elapsed_s : 0.0;
+    eta_s_ = (total_ > done_ && done_ > 0)
+                 ? elapsed_s * static_cast<double>(total_ - done_) /
+                       static_cast<double>(done_)
+                 : 0.0;
+    render();
+}
+
+void ProgressReporter::render() {
+    if (console_ == nullptr) return;
+    std::string line = "[" + panel_ + "] point " + std::to_string(done_);
+    if (total_ > 0) line += "/" + std::to_string(total_);
+    line += ", " + human_rate(tps_) + " trials/s";
+    if (total_ > 0) line += ", ETA " + human_eta(eta_s_);
+    std::string padded = line;
+    if (line_len_ > padded.size()) padded.append(line_len_ - padded.size(), ' ');
+    line_len_ = line.size();
+    *console_ << '\r' << padded << std::flush;
+}
+
+void ProgressReporter::end_panel() {
+    if (console_ != nullptr && line_len_ > 0) {
+        *console_ << '\r' << std::string(line_len_, ' ') << '\r'
+                  << std::flush;
+    }
+    line_len_ = 0;
+}
+
+}  // namespace sfi::obs

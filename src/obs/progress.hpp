@@ -1,0 +1,60 @@
+// Live progress line for long campaigns: `[panel] point k/N, trials/s,
+// ETA` rewritten in place on stderr. Numbers come from the same
+// MetricsRegistry the ledger snapshots, so the console, the ledger and
+// the manifest never disagree about how many trials were spent.
+//
+// The reporter also works headless (null console): the campaign runner
+// always keeps one attached so wall-mode ledgers get "progress" events
+// with the ETA estimate, which is what lets sfi_trace score ETA accuracy
+// after the fact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sfi::obs {
+
+/// True when stderr is an interactive terminal (always false on platforms
+/// without isatty). Callers gate console output on this plus --quiet.
+bool stderr_is_tty();
+
+class ProgressReporter {
+public:
+    /// `console` may be null: estimates are still computed (for ledger
+    /// progress events) but nothing is printed. `metrics` supplies the
+    /// "campaign.trials_spent" counter used for the trials/s figure.
+    ProgressReporter(std::ostream* console, const MetricsRegistry* metrics);
+
+    void begin_panel(const std::string& name, std::size_t total_points);
+    /// Call once per finished point, after the metrics registry has been
+    /// updated for it.
+    void point_done();
+    /// Clears the in-place line so subsequent output starts clean.
+    void end_panel();
+
+    std::size_t points_done() const { return done_; }
+    /// Estimated seconds to finish the current panel; 0 until the first
+    /// point lands or when the total is unknown (bisection panels).
+    double eta_s() const { return eta_s_; }
+    double trials_per_sec() const { return tps_; }
+
+private:
+    void render();
+
+    std::ostream* console_;
+    const MetricsRegistry* metrics_;
+    std::string panel_;
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    std::uint64_t trials_at_start_ = 0;
+    std::int64_t t0_ns_ = 0;
+    double eta_s_ = 0.0;
+    double tps_ = 0.0;
+    std::size_t line_len_ = 0;
+};
+
+}  // namespace sfi::obs

@@ -80,6 +80,28 @@ void write_bench_core_json(std::ostream& os, const PerfReport& report) {
     json.field("avx2", report.fault_sampling.avx2);
     json.end_object();
 
+    json.key("metrics");
+    json.begin_object();
+    json.key("counters");
+    json.begin_array();
+    for (const auto& [name, value] : report.metrics.counters()) {
+        json.begin_object();
+        json.field("name", name);
+        json.field("value", value);
+        json.end_object();
+    }
+    json.end_array();
+    json.key("gauges");
+    json.begin_array();
+    for (const auto& [name, value] : report.metrics.gauges()) {
+        json.begin_object();
+        json.field("name", name);
+        json.field("value", value);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
     if (report.campaign) {
         json.key("campaign");
         json.begin_object();

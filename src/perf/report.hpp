@@ -27,6 +27,11 @@
 //                  kernels; batched_speedup is machine-independent like
 //                  fast_path.speedup and is held to a baseline floor)
 //     "campaign":  { figure, seconds, trials_spent } | null,
+//     "metrics":  { counters: [ { name, value } ],
+//                   gauges:   [ { name, value } ] },
+//                 (v4: the obs::MetricsRegistry the report's campaign
+//                  sample accumulated into — named counters in sorted
+//                  order, so the block is deterministic for equal work)
 //     "wall_clock_s": ...
 //   }
 //
@@ -42,11 +47,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "perf/perf.hpp"
 
 namespace sfi::perf {
 
-inline constexpr int kSchemaVersion = 3;
+inline constexpr int kSchemaVersion = 4;
 
 /// One (thread count, duration) sample of a kernel bench.
 struct ThreadSample {
@@ -108,6 +114,10 @@ struct PerfReport {
     FastPathResult fast_path;
     FaultSamplingResult fault_sampling;
     std::optional<CampaignSample> campaign;
+    /// Campaign counters/gauges (v4) — what the report's campaign sample
+    /// accumulated through obs::MetricsRegistry; empty when no campaign
+    /// figure was run.
+    obs::MetricsRegistry metrics;
     double wall_clock_s = 0.0;
 };
 

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "mc/parallel.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
 
 namespace sfi::sampling {
 
@@ -62,9 +64,25 @@ public:
 
     const MonteCarloRunner& runner() const { return *runner_; }
 
+    /// Attaches observability sinks (either may be null). Wall-mode
+    /// ledgers get a "batch" span per run_batch call, per-worker "trials"
+    /// lanes (via run_trial_block) and a "fast_path" instant on points the
+    /// zero-fault fast path serves; logical-mode ledgers get nothing here
+    /// — batch structure is volatile (a warm rerun has no batches at
+    /// all). The registry counts "run.batches" / "run.fastpath_points",
+    /// volatile by the "run." naming convention.
+    void set_observer(obs::Ledger* ledger, obs::MetricsRegistry* metrics) {
+        ledger_ = ledger;
+        metrics_ = metrics;
+    }
+    obs::Ledger* ledger() const { return ledger_; }
+    obs::MetricsRegistry* metrics() const { return metrics_; }
+
 private:
     const MonteCarloRunner* runner_;
     std::vector<std::unique_ptr<TrialContext>> contexts_;
+    obs::Ledger* ledger_ = nullptr;
+    obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Merges two summaries over disjoint trial sets: integer counts add

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/ledger.hpp"
+
 namespace sfi::sampling {
 
 namespace {
@@ -40,6 +42,10 @@ PoffSearchResult find_poff_bisection(const ProbeFn& probe,
                     : 1.0 - wilson_interval(summary.correct_count,
                                             summary.trials, config.z)
                                 .lo;
+        if (config.ledger != nullptr)
+            config.ledger->instant("probe", {{"freq_mhz", freq},
+                                             {"trials", summary.trials},
+                                             {"failing", failing}});
         result.sweep.push_back(std::move(summary));
         return std::pair<bool, double>(failing, risk);
     };

@@ -45,6 +45,12 @@ struct PoffSearchConfig {
     /// Checked before every probe; true stops the search cleanly with
     /// the bracket found so far (campaign cancellation hook).
     std::function<bool()> cancelled;
+    /// Optional run ledger: every probe emits a "probe" instant with its
+    /// frequency and verdict. Probes are part of the *stable* narrative —
+    /// the probe sequence is a pure function of the spec and a warm rerun
+    /// replays it through store hits — so the events appear in both
+    /// logical and wall modes.
+    obs::Ledger* ledger = nullptr;
 };
 
 struct PoffSearchResult {

@@ -85,6 +85,37 @@ bool screen_decided(const PointSummary& summary, const SamplingPolicy& policy) {
 
 }  // namespace
 
+const char* stop_rule_name(StopRule rule) {
+    switch (rule) {
+        case StopRule::Fixed: return "fixed";
+        case StopRule::CiMet: return "ci-met";
+        case StopRule::MaxTrials: return "max-trials";
+        case StopRule::Screen: return "screen";
+    }
+    return "unknown";
+}
+
+StopRule classify_stop(const PointSummary& summary,
+                       const SamplingPolicy& policy) {
+    if (!policy.adaptive()) return StopRule::Fixed;
+    // Mirror run_point_sequential's normalization and decision order: the
+    // screen is checked only at exactly the screen trial count, and the
+    // refine loop tests convergence *before* the ceiling, so a point that
+    // converges right at max_trials classifies as CiMet there too.
+    const std::size_t ceiling = std::max<std::size_t>(policy.max_trials, 1);
+    const std::size_t floor_trials = std::min(policy.min_trials, ceiling);
+    if (policy.kind == SamplingPolicy::Kind::TwoStage) {
+        const std::size_t screen =
+            std::min(std::max<std::size_t>(policy.screen_trials, 1), ceiling);
+        if (summary.trials == screen && screen_decided(summary, policy))
+            return StopRule::Screen;
+    }
+    if (summary.trials >= floor_trials &&
+        max_half_width(summary, policy.z) <= policy.ci_half_width)
+        return StopRule::CiMet;
+    return StopRule::MaxTrials;
+}
+
 SequentialResult run_point_sequential(BatchedExecutor& executor,
                                       const OperatingPoint& point,
                                       const SamplingPolicy& policy,
@@ -100,8 +131,23 @@ SequentialResult run_point_sequential(BatchedExecutor& executor,
                                    policy.batch_size
                              : (fixed_trials ? 1 : 0);
         result.converged = true;
+        result.stop = StopRule::Fixed;
         return result;
     }
+
+    // Stopping-trajectory telemetry is wall-mode only: which batches ran
+    // (and their half-width snapshots) is volatile — a warm rerun serves
+    // the point from the store without batching at all.
+    obs::Ledger* ledger = executor.ledger();
+    if (ledger != nullptr && ledger->logical()) ledger = nullptr;
+    const auto record_stop = [&](const char* decision) {
+        if (ledger != nullptr)
+            ledger->instant(
+                "stopping",
+                {{"trials", result.summary.trials},
+                 {"half_width", max_half_width(result.summary, policy.z)},
+                 {"decision", decision}});
+    };
 
     const std::size_t batch = std::max<std::size_t>(policy.batch_size, 1);
     const std::size_t ceiling = std::max<std::size_t>(policy.max_trials, 1);
@@ -120,6 +166,8 @@ SequentialResult run_point_sequential(BatchedExecutor& executor,
         ++result.batches;
         if (screen_decided(result.summary, policy)) {
             result.converged = true;
+            result.stop = StopRule::Screen;
+            record_stop("screen");
             return result;
         }
     }
@@ -131,9 +179,16 @@ SequentialResult run_point_sequential(BatchedExecutor& executor,
         if (done >= floor_trials &&
             max_half_width(result.summary, policy.z) <= policy.ci_half_width) {
             result.converged = true;
+            result.stop = StopRule::CiMet;
+            record_stop("ci-met");
             return result;
         }
-        if (done >= ceiling) return result;  // ceiling hit, not converged
+        if (done >= ceiling) {  // ceiling hit, not converged
+            result.stop = StopRule::MaxTrials;
+            record_stop("max-trials");
+            return result;
+        }
+        record_stop("continue");
         executor.run_batch(result.summary, point,
                            std::min(batch, ceiling - done));
         ++result.batches;

@@ -90,12 +90,36 @@ std::optional<SamplingPolicy::Kind> parse_sampling_kind(
 /// correct fractions — the quantity the TargetCi rule drives down.
 double max_half_width(const PointSummary& summary, double z = 1.96);
 
+/// Why a point's trial budget stopped where it did.
+enum class StopRule : std::uint8_t {
+    Fixed,      ///< fixed-N policy: the configured trial count, no rule
+    CiMet,      ///< both Wilson half-widths reached the target
+    MaxTrials,  ///< the max_trials ceiling cut the refinement off
+    Screen,     ///< the TwoStage screen declared the point decided
+};
+inline constexpr std::size_t kStopRuleCount = 4;
+
+/// Stable short name ("fixed", "ci-met", "max-trials", "screen") — the
+/// vocabulary of the campaign manifest and the run ledger.
+const char* stop_rule_name(StopRule rule);
+
+/// Re-derives the stopping classification from a *final* summary and the
+/// policy that produced it — a pure function, so a summary served from
+/// the point store classifies exactly like the run that computed it
+/// (tests/campaign/test_obs_campaign.cpp pins the agreement with the
+/// engine's own decisions). Only meaningful for summaries that actually
+/// came out of run_point_sequential under `policy`.
+StopRule classify_stop(const PointSummary& summary,
+                       const SamplingPolicy& policy);
+
 struct SequentialResult {
     PointSummary summary;
     std::size_t batches = 0;
     /// True when the stopping rule was satisfied (CI target met or
     /// screen decided); false when the max_trials ceiling cut it off.
     bool converged = false;
+    /// The engine's own stopping classification (classify_stop agrees).
+    StopRule stop = StopRule::Fixed;
 };
 
 /// Runs `point` under `policy` on `executor`:

@@ -36,6 +36,10 @@
 #include "mc/report.hpp"
 #include "mc/sweep.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "perf/json_writer.hpp"
 #include "perf/perf.hpp"
 #include "perf/report.hpp"

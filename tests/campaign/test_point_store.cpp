@@ -184,6 +184,119 @@ TEST_F(PointStoreTest, ForeignFileIsTreatedAsEmptyAndRewritten) {
     EXPECT_TRUE(reopened.lookup(9).has_value());
 }
 
+TEST_F(PointStoreTest, HealthyStoreReportsNoDiagnostics) {
+    {
+        PointStore store(path_);
+        store.insert(1, sample_summary(700.0));
+    }
+    testing::internal::CaptureStderr();
+    PointStore reopened(path_);
+    EXPECT_TRUE(reopened.diagnostics().empty());
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(PointStoreTest, CorruptTailEmitsStderrWarningWithoutLedger) {
+    {
+        PointStore store(path_);
+        store.insert(1, sample_summary(700.0));
+        store.insert(2, sample_summary(710.0));
+    }
+    fs::resize_file(path_, fs::file_size(path_) - 5);
+
+    testing::internal::CaptureStderr();
+    PointStore store(path_);
+    const std::string warning = testing::internal::GetCapturedStderr();
+
+    ASSERT_EQ(store.diagnostics().size(), 1u);
+    const StoreDiagnostic& diag = store.diagnostics().front();
+    EXPECT_EQ(diag.kind, StoreDiagnostic::Kind::CorruptTail);
+    EXPECT_GT(diag.dropped_bytes, 0u);
+    EXPECT_EQ(diag.records_loaded, 1u);
+    EXPECT_NE(warning.find("corrupt-tail"), std::string::npos);
+    EXPECT_NE(warning.find(path_), std::string::npos);
+}
+
+TEST_F(PointStoreTest, CorruptTailEmitsLedgerWarningInBothModes) {
+    {
+        PointStore store(path_);
+        store.insert(1, sample_summary(700.0));
+        store.insert(2, sample_summary(710.0));
+    }
+    fs::resize_file(path_, fs::file_size(path_) - 5);
+
+    for (const obs::TraceMode mode :
+         {obs::TraceMode::Logical, obs::TraceMode::Wall}) {
+        std::ostringstream os;
+        testing::internal::CaptureStderr();
+        {
+            obs::Ledger ledger(os, mode);
+            PointStore store(path_, &ledger);
+            EXPECT_EQ(store.size(), 1u);
+        }
+        // With a ledger attached, the warning goes there, not to stderr.
+        EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+        std::istringstream is(os.str());
+        const obs::LedgerFile file = obs::read_ledger(is);
+        ASSERT_EQ(file.events.size(), 1u) << obs::trace_mode_name(mode);
+        const obs::LedgerEvent& ev = file.events.front();
+        EXPECT_EQ(ev.name, "store_warning");
+        EXPECT_EQ(ev.ph, 'i');
+        EXPECT_EQ(ev.arg_string("kind"), "corrupt-tail");
+        EXPECT_EQ(ev.arg_string("path"), path_);
+        EXPECT_GT(ev.arg_uint("dropped_bytes"), 0u);
+        EXPECT_EQ(ev.arg_uint("records_loaded"), 1u);
+    }
+}
+
+TEST_F(PointStoreTest, ForeignFileAndBitRotDiagnosticKinds) {
+    std::ofstream(path_) << "this is not a point store\n";
+    testing::internal::CaptureStderr();
+    {
+        PointStore store(path_);
+        ASSERT_EQ(store.diagnostics().size(), 1u);
+        EXPECT_EQ(store.diagnostics().front().kind,
+                  StoreDiagnostic::Kind::ForeignFile);
+        EXPECT_EQ(store.diagnostics().front().records_loaded, 0u);
+    }
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("foreign-file"),
+              std::string::npos);
+
+    fs::remove(path_);
+    {
+        PointStore store(path_);
+        store.insert(1, sample_summary(700.0));
+        store.insert(2, sample_summary(710.0));
+    }
+    std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-20, std::ios::end);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(-20, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+    file.close();
+
+    testing::internal::CaptureStderr();
+    {
+        PointStore store(path_);
+        ASSERT_EQ(store.diagnostics().size(), 1u);
+        EXPECT_EQ(store.diagnostics().front().kind,
+                  StoreDiagnostic::Kind::BitRot);
+        EXPECT_EQ(store.diagnostics().front().records_loaded, 1u);
+    }
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("bit-rot"),
+              std::string::npos);
+}
+
+TEST(StoreDiagnosticNames, AreStable) {
+    EXPECT_STREQ(store_diagnostic_name(StoreDiagnostic::Kind::ForeignFile),
+                 "foreign-file");
+    EXPECT_STREQ(store_diagnostic_name(StoreDiagnostic::Kind::CorruptTail),
+                 "corrupt-tail");
+    EXPECT_STREQ(store_diagnostic_name(StoreDiagnostic::Kind::BitRot),
+                 "bit-rot");
+}
+
 TEST_F(PointStoreTest, QuantizedSamplingNeverHitsBatchedEntries) {
     // "B-q" (alias-sampled noise) changes the statistics of every
     // faulting point, so its results must live under different store

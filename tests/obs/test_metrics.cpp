@@ -1,0 +1,95 @@
+// MetricsRegistry contract: counters merge by addition (associative and
+// commutative, the PhaseProfile discipline), gauges are last-writer-wins,
+// and the "run." naming convention separates volatile run telemetry from
+// the spec-pure counters the logical ledger may emit.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sfi::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulateAndDefaultToZero) {
+    MetricsRegistry m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.counter("campaign.points"), 0u);
+    m.add("campaign.points");
+    m.add("campaign.points", 4);
+    EXPECT_EQ(m.counter("campaign.points"), 5u);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(Metrics, GaugesAreLastWriterWins) {
+    MetricsRegistry m;
+    EXPECT_EQ(m.gauge("eta"), 0.0);
+    m.set_gauge("eta", 12.5);
+    m.set_gauge("eta", 3.25);
+    EXPECT_EQ(m.gauge("eta"), 3.25);
+}
+
+MetricsRegistry reg(std::uint64_t a, std::uint64_t b, double g) {
+    MetricsRegistry m;
+    if (a > 0) m.add("alpha", a);
+    if (b > 0) m.add("beta", b);
+    m.set_gauge("g", g);
+    return m;
+}
+
+TEST(Metrics, MergeIsAssociative) {
+    const MetricsRegistry a = reg(1, 0, 1.0);
+    const MetricsRegistry b = reg(2, 5, 2.0);
+    const MetricsRegistry c = reg(4, 0, 3.0);
+
+    MetricsRegistry left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    MetricsRegistry bc = b;     // a + (b + c)
+    bc.merge(c);
+    MetricsRegistry right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.counters(), right.counters());
+    EXPECT_EQ(left.gauges(), right.gauges());
+    EXPECT_EQ(left.counter("alpha"), 7u);
+    EXPECT_EQ(left.counter("beta"), 5u);
+    EXPECT_EQ(left.gauge("g"), 3.0);  // last writer in merge order
+}
+
+TEST(Metrics, CounterMergeIsCommutative) {
+    const MetricsRegistry a = reg(3, 1, 0.0);
+    const MetricsRegistry b = reg(9, 2, 0.0);
+    MetricsRegistry ab = a;
+    ab.merge(b);
+    MetricsRegistry ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.counters(), ba.counters());
+}
+
+TEST(Metrics, ClearEmpties) {
+    MetricsRegistry m = reg(1, 2, 3.0);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.counter("alpha"), 0u);
+}
+
+TEST(Metrics, VolatileNamingConvention) {
+    EXPECT_TRUE(volatile_metric_name("run.store_hits"));
+    EXPECT_TRUE(volatile_metric_name("run."));
+    EXPECT_FALSE(volatile_metric_name("campaign.points"));
+    EXPECT_FALSE(volatile_metric_name("rerun.store_hits"));
+    EXPECT_FALSE(volatile_metric_name("panel.run.x"));
+    EXPECT_FALSE(volatile_metric_name(""));
+}
+
+TEST(Metrics, OrderedViewsAreSorted) {
+    MetricsRegistry m;
+    m.add("zeta");
+    m.add("alpha");
+    m.add("mid");
+    std::vector<std::string> names;
+    for (const auto& [name, value] : m.counters()) names.push_back(name);
+    EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace sfi::obs

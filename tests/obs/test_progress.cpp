@@ -1,0 +1,84 @@
+// ProgressReporter contract: the in-place stderr line renders point
+// counts and metric-driven rates, works headless (null console) for
+// wall-mode ledger progress events, and end_panel clears the line.
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace sfi::obs {
+namespace {
+
+TEST(Progress, HeadlessReporterStillEstimates) {
+    MetricsRegistry metrics;
+    ProgressReporter progress(nullptr, &metrics);
+    progress.begin_panel("p", 4);
+    metrics.add("campaign.trials_spent", 100);
+    progress.point_done();
+    EXPECT_EQ(progress.points_done(), 1u);
+    EXPECT_GE(progress.trials_per_sec(), 0.0);
+    EXPECT_GE(progress.eta_s(), 0.0);
+    progress.end_panel();  // no console: must be a no-op, not a crash
+}
+
+TEST(Progress, RendersPanelNameAndCounts) {
+    MetricsRegistry metrics;
+    std::ostringstream console;
+    ProgressReporter progress(&console, &metrics);
+    progress.begin_panel("fig1_modelB", 3);
+    metrics.add("campaign.trials_spent", 50);
+    progress.point_done();
+    const std::string line = console.str();
+    EXPECT_NE(line.find("[fig1_modelB]"), std::string::npos);
+    EXPECT_NE(line.find("point 1/3"), std::string::npos);
+    EXPECT_NE(line.find("trials/s"), std::string::npos);
+    EXPECT_NE(line.find("ETA"), std::string::npos);
+    EXPECT_EQ(line.front(), '\r');  // rewrites in place, no newline spam
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Progress, UnknownTotalOmitsEta) {
+    MetricsRegistry metrics;
+    std::ostringstream console;
+    ProgressReporter progress(&console, &metrics);
+    progress.begin_panel("poff", 0);  // bisection: point count unknown
+    progress.point_done();
+    EXPECT_NE(console.str().find("point 1,"), std::string::npos);
+    EXPECT_EQ(console.str().find("ETA"), std::string::npos);
+    EXPECT_EQ(progress.eta_s(), 0.0);
+}
+
+TEST(Progress, EndPanelClearsTheLine) {
+    MetricsRegistry metrics;
+    std::ostringstream console;
+    ProgressReporter progress(&console, &metrics);
+    progress.begin_panel("p", 2);
+    progress.point_done();
+    const std::size_t before = console.str().size();
+    progress.end_panel();
+    const std::string tail = console.str().substr(before);
+    // The clear overwrites the line with spaces and returns the cursor.
+    EXPECT_EQ(tail.front(), '\r');
+    EXPECT_EQ(tail.back(), '\r');
+    EXPECT_EQ(tail.find_first_not_of(" \r"), std::string::npos);
+}
+
+TEST(Progress, SecondPanelRestartsCounts) {
+    MetricsRegistry metrics;
+    ProgressReporter progress(nullptr, &metrics);
+    progress.begin_panel("a", 2);
+    metrics.add("campaign.trials_spent", 10);
+    progress.point_done();
+    progress.point_done();
+    progress.end_panel();
+    progress.begin_panel("b", 5);
+    EXPECT_EQ(progress.points_done(), 0u);
+    metrics.add("campaign.trials_spent", 10);
+    progress.point_done();
+    EXPECT_EQ(progress.points_done(), 1u);
+}
+
+}  // namespace
+}  // namespace sfi::obs

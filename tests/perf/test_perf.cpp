@@ -342,6 +342,10 @@ PerfReport make_report() {
     report.fast_path = {700.0, 42000.0, 60.0};
     report.fault_sampling = {2.9e7, 4.3e7, 8.9e7, 1.48, false};
     report.campaign = CampaignSample{"fig1", 1.5, 330};
+    report.metrics.add("campaign.points", 33);
+    report.metrics.add("campaign.trials_spent", 330);
+    report.metrics.add("run.store_misses", 33);
+    report.metrics.set_gauge("example.gauge", 2.5);
     report.wall_clock_s = 5.75;
     return report;
 }
@@ -362,9 +366,12 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
 
     // Top-level schema: exact keys in exact order (the stability contract
     // scripts/check_perf_regression.py and artifact diffs rely on).
+    // Schema v4 inserted "metrics" (campaign counters/gauges) before
+    // "campaign".
     const std::vector<std::string> expected_keys = {
-        "schema",    "schema_version", "config",   "phases",      "kernels",
-        "fast_path", "fault_sampling", "campaign", "wall_clock_s"};
+        "schema",    "schema_version", "config",  "phases",
+        "kernels",   "fast_path",      "fault_sampling",
+        "metrics",   "campaign",       "wall_clock_s"};
     EXPECT_EQ(doc->object_key_order, expected_keys);
     EXPECT_EQ(doc->at("schema").string, "sfi-bench-core");
     EXPECT_EQ(doc->at("schema_version").number, kSchemaVersion);
@@ -411,6 +418,19 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
     EXPECT_FALSE(doc->at("fault_sampling").at("avx2").boolean);
     EXPECT_EQ(doc->at("campaign").at("figure").string, "fig1");
     EXPECT_EQ(doc->at("campaign").at("trials_spent").number, 330.0);
+
+    // Schema v4: counters in sorted name order, gauges likewise.
+    const auto& counters = doc->at("metrics").at("counters").array;
+    ASSERT_EQ(counters.size(), 3u);
+    EXPECT_EQ(counters[0]->at("name").string, "campaign.points");
+    EXPECT_EQ(counters[0]->at("value").number, 33.0);
+    EXPECT_EQ(counters[1]->at("name").string, "campaign.trials_spent");
+    EXPECT_EQ(counters[2]->at("name").string, "run.store_misses");
+    const auto& gauges = doc->at("metrics").at("gauges").array;
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_EQ(gauges[0]->at("name").string, "example.gauge");
+    EXPECT_DOUBLE_EQ(gauges[0]->at("value").number, 2.5);
+
     EXPECT_DOUBLE_EQ(doc->at("wall_clock_s").number, 5.75);
 }
 

@@ -123,6 +123,48 @@ TEST(SequentialSampling, HandBuiltFloorAboveCeilingStillTerminatesAtCeiling) {
     EXPECT_EQ(result.summary.correct_count, 10u);
 }
 
+TEST(SequentialSampling, StopClassificationMatchesTheEngine) {
+    // classify_stop must re-derive, from a final summary alone, the same
+    // StopRule the engine recorded while running — that equivalence is
+    // what lets the campaign runner classify store-served (warm) points
+    // without replaying them.
+    const auto bench = make_benchmark(BenchmarkId::Median);
+    auto model = shared_core().make_model_c();
+    MonteCarloRunner runner = make_runner(*bench, *model, 100, 2);
+
+    const auto check = [&](const SamplingPolicy& policy,
+                           sampling::StopRule expected) {
+        const auto result =
+            sampling::run_point_sequential(runner, safe_point(), policy, 2);
+        EXPECT_EQ(result.stop, expected);
+        EXPECT_EQ(sampling::classify_stop(result.summary, policy), expected);
+    };
+
+    check(SamplingPolicy::fixed_n(), sampling::StopRule::Fixed);
+    // Decided safe point, satisfiable target: converges (at the floor).
+    SamplingPolicy ci = SamplingPolicy::target_ci(0.15, 100, 10);
+    ci.min_trials = 10;
+    check(ci, sampling::StopRule::CiMet);
+    // Unreachable target: the ceiling cuts the loop.
+    check(SamplingPolicy::target_ci(0.005, 40, 10),
+          sampling::StopRule::MaxTrials);
+    // Unanimous screen decides the point at the screen trial count (25
+    // trials: unanimous Wilson half-range ~0.13 < the 0.15 threshold).
+    check(SamplingPolicy::two_stage(25, 0.15, 0.005, 40),
+          sampling::StopRule::Screen);
+}
+
+TEST(SequentialSampling, StopRuleNamesAreStable) {
+    EXPECT_STREQ(sampling::stop_rule_name(sampling::StopRule::Fixed),
+                 "fixed");
+    EXPECT_STREQ(sampling::stop_rule_name(sampling::StopRule::CiMet),
+                 "ci-met");
+    EXPECT_STREQ(sampling::stop_rule_name(sampling::StopRule::MaxTrials),
+                 "max-trials");
+    EXPECT_STREQ(sampling::stop_rule_name(sampling::StopRule::Screen),
+                 "screen");
+}
+
 TEST(SequentialSampling, FactoriesClampTheFloorToTheCeiling) {
     SamplingPolicy ci = SamplingPolicy::target_ci(0.05, 10);
     EXPECT_LE(ci.min_trials, ci.max_trials);
