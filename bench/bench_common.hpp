@@ -36,6 +36,15 @@
 //                    but a distinct sampling distribution variant — model
 //                    names gain a "-q" suffix and store/cache keys are
 //                    salted so results never collide with exact runs).
+//   --forensics DIR  opt-in fault forensics: every Benchmark-kernel
+//                    campaign point re-runs its first --forensics-trials
+//                    trials under the forensic probe and the
+//                    vulnerability-report artifacts (records.bin,
+//                    forensics.json, CSV tables) land in DIR. Off by
+//                    default; off means byte-identical artifacts and no
+//                    extra work (src/fi/forensics.hpp).
+//   --forensics-trials K  trials forensically sampled per point
+//                    (default 32, clamped to the point's trial count)
 //   --trace PATH     write a JSONL run ledger (src/obs/ledger.hpp) of the
 //                    campaign — spans, probes, stopping decisions,
 //                    counters. Analyze or convert it with bench/sfi_trace.
@@ -78,6 +87,7 @@ inline std::vector<std::string> known_flags(std::vector<std::string> extra) {
                                       "watchdog-factor", "sampling",
                                       "ci-target", "max-trials", "batch",
                                       "dispatch", "fault-sampling",
+                                      "forensics", "forensics-trials",
                                       "trace", "trace-mode", "quiet"};
     known.insert(known.end(), std::make_move_iterator(extra.begin()),
                  std::make_move_iterator(extra.end()));
@@ -95,6 +105,8 @@ struct Context {
     sampling::SamplingPolicy sampling;
     std::string csv_dir;
     std::string store_path;
+    std::string forensics_dir;  ///< empty = forensics off (the default)
+    std::size_t forensics_trials = 32;
     /// Run ledger (--trace); null unless the flag was given. Owned here so
     /// it outlives the campaign and flushes/closes at Context destruction.
     std::unique_ptr<obs::Ledger> ledger;
@@ -129,6 +141,13 @@ struct Context {
         if (!cli.get_bool("no-store", false))
             store_path = cli.get("store", "sfi_point_store.bin");
         quiet = cli.get_bool("quiet", false);
+        forensics_dir = cli.get("forensics", "");
+        forensics_trials = static_cast<std::size_t>(
+            checked_uint("forensics-trials", 32));
+        if (!forensics_dir.empty() && forensics_trials == 0) {
+            std::cerr << "error: --forensics-trials must be positive\n";
+            std::exit(2);
+        }
         if (const std::string trace = cli.get("trace", ""); !trace.empty()) {
             const std::string mode_name = cli.get("trace-mode", "wall");
             const auto mode = obs::parse_trace_mode(mode_name);
@@ -191,6 +210,8 @@ struct Context {
         options.console = &std::cout;
         options.ledger = ledger.get();
         options.progress = !quiet;
+        options.forensics_dir = forensics_dir;
+        options.forensics_trials = forensics_trials;
         return options;
     }
 

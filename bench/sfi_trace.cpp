@@ -10,7 +10,9 @@
 // classifications and probe counts; campaign-wide it reports the point
 // store hit ratio, worker-lane utilization and the accuracy of the live
 // ETA estimates. Ratio/utilization/ETA sections need wall-mode data and
-// print "n/a (logical ledger)" on a logical-mode file.
+// print "n/a (logical ledger)" on a logical-mode file. When a forensic
+// artifact (forensics_points.csv from bench --forensics) sits next to the
+// ledger, the panel table grows per-panel outcome-class tallies.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -108,7 +110,44 @@ Summary summarize(const LedgerFile& file) {
     return s;
 }
 
-void print_summary(const Summary& s) {
+// Per-panel outcome-class tallies, printed only when a forensic artifact
+// was found next to the ledger (tallies keyed by panel name).
+void print_forensics(
+    const Summary& s,
+    const std::map<std::string, sfi::ForensicPanelTally>& tallies) {
+    if (tallies.empty()) return;
+    std::printf("%-24s %7s %7s %7s %5s %5s %9s\n", "forensics", "trials",
+                "masked", "latent", "sdc", "hang", "detected");
+    const auto cls = [](const sfi::ForensicPanelTally& t,
+                        sfi::OutcomeClass c) -> unsigned long long {
+        return t.outcomes[static_cast<std::size_t>(c)];
+    };
+    const auto print_row = [&](const std::string& name,
+                               const sfi::ForensicPanelTally& t) {
+        std::printf("%-24s %7llu %7llu %7llu %5llu %5llu %9llu\n",
+                    name.c_str(), static_cast<unsigned long long>(t.trials),
+                    cls(t, sfi::OutcomeClass::Masked),
+                    cls(t, sfi::OutcomeClass::LatentCorrupt),
+                    cls(t, sfi::OutcomeClass::SDC),
+                    cls(t, sfi::OutcomeClass::Hang),
+                    cls(t, sfi::OutcomeClass::Detected));
+    };
+    // Ledger panel order first, then any tallies the ledger never saw
+    // (e.g. an sfi_forensics artifact dropped next to a foreign ledger).
+    std::map<std::string, sfi::ForensicPanelTally> rest = tallies;
+    for (const PanelRow& row : s.panels) {
+        const auto it = rest.find(row.name);
+        if (it == rest.end()) continue;
+        print_row(it->first, it->second);
+        rest.erase(it);
+    }
+    for (const auto& [name, tally] : rest) print_row(name, tally);
+    std::printf("\n");
+}
+
+void print_summary(const Summary& s,
+                   const std::map<std::string, sfi::ForensicPanelTally>&
+                       forensic_tallies) {
     std::printf("campaign %s  (%s)\n",
                 s.campaign.empty() ? "<unnamed>" : s.campaign.c_str(),
                 s.fingerprint.c_str());
@@ -141,6 +180,8 @@ void print_summary(const Summary& s) {
         }
         std::printf("\n");
     }
+
+    print_forensics(s, forensic_tallies);
 
     // The volatile sections: store traffic, lane utilization and ETA
     // accuracy only exist in wall-mode ledgers (logical mode records the
@@ -248,6 +289,13 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    print_summary(summarize(file));
+    // A forensic artifact next to the ledger enriches the summary with
+    // per-panel outcome-class tallies; absence is silent (empty map).
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    print_summary(summarize(file),
+                  sfi::read_forensic_panel_tallies(dir +
+                                                   "/forensics_points.csv"));
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "campaign/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -334,6 +335,16 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
     // rule is always re-derived via classify_stop so warm store hits and
     // cold computations report identical classifications.
     std::size_t point_index = 0;
+    // Panel labels for the forensic point registry; mirrors the ledger's
+    // panel payload above so the artifacts and traces name points alike.
+    const std::string forensic_model =
+        panel.model.kind == ModelSpec::Kind::B && base.noise.sigma_mv > 0.0
+            ? "B+"
+            : model_kind_name(panel.model.kind);
+    const std::string forensic_kernel =
+        panel.kernel.kind == KernelSpec::Kind::Benchmark
+            ? benchmark_name(panel.kernel.benchmark)
+            : ex_class_name(panel.kernel.cls);
     const auto compute_point = [&](const OperatingPoint& point) {
         const std::uint64_t key = point_key(spec_, panel, core_fp, point);
         if (led != nullptr)
@@ -364,6 +375,30 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
             ++result.store_misses;
             metrics().add("run.store_misses");
         }
+        // Forensic sampling pass: re-run the point's first K trials under
+        // the probe. Purely additive — the summary above is already
+        // final, so the trials drawn here (bit-identical re-runs of
+        // indices [0, K)) cannot perturb any figure. Store hits get the
+        // pass too: forensics is an observation of the point, not of
+        // whether its summary was cached.
+        if (forensic_sink_ != nullptr &&
+            panel.kernel.kind == KernelSpec::Kind::Benchmark) {
+            ensure_executor();
+            const std::size_t sample =
+                std::min<std::size_t>(options_.forensics_trials, summary.trials);
+            const perf::ScopedPhaseTimer forensic_timer(
+                mc->perf_profile(), perf::Phase::Forensics, sample);
+            const std::uint32_t pid = forensic_sink_->begin_point(
+                panel.name, forensic_model, forensic_kernel, point);
+            for (TrialForensics& fx : executor->run_forensics(point, sample))
+                forensic_sink_->add_trial(pid, fx.cls, fx.outcome.finished,
+                                          fx.outcome.correct, fx.razor_detected,
+                                          fx.razor_escaped,
+                                          std::move(fx.records),
+                                          fx.detection_latencies);
+            metrics().add("run.forensic_trials", sample);
+        }
+
         const sampling::StopRule stop =
             panel.kernel.kind == KernelSpec::Kind::Benchmark
                 ? sampling::classify_stop(summary, policy)
@@ -668,6 +703,9 @@ CampaignResult CampaignRunner::run() {
 
     if (!options_.csv_dir.empty())
         std::filesystem::create_directories(options_.csv_dir);
+    forensic_sink_ = options_.forensics_dir.empty()
+                         ? nullptr
+                         : std::make_unique<ForensicSink>();
 
     for (const PanelSpec& panel : spec_.panels) {
         if (options_.cancelled && options_.cancelled()) {
@@ -693,6 +731,23 @@ CampaignResult CampaignRunner::run() {
             }
             result.cdf_panels.push_back(run_cdf_panel(panel));
         }
+
+    // Forensic artifacts are written even for cancelled campaigns: every
+    // recorded point is complete, and a partial record stream is still a
+    // valid (and debuggable) artifact.
+    if (forensic_sink_ != nullptr) {
+        forensic_sink_->write_artifacts(options_.forensics_dir);
+        metrics().add("run.forensic_records",
+                      forensic_sink_->records().size());
+        if (led != nullptr)
+            led->instant(
+                "forensics",
+                {{"dir", options_.forensics_dir},
+                 {"trials", forensic_sink_->trials_recorded()},
+                 {"records", static_cast<std::uint64_t>(
+                                 forensic_sink_->records().size())}});
+        forensic_sink_.reset();
+    }
 
     result.wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)

@@ -37,6 +37,7 @@
 #include "campaign/point_store.hpp"
 #include "campaign/spec.hpp"
 #include "fi/core_model.hpp"
+#include "fi/forensics.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -82,6 +83,18 @@ struct RunOptions {
     /// Live per-panel `point k/N, trials/s, ETA` line on stderr. Only
     /// printed when stderr is a TTY; bench drivers map --quiet to false.
     bool progress = false;
+    /// Fault-forensics artifact directory (bench --forensics DIR); empty =
+    /// forensics off, zero overhead and byte-identical artifacts. When
+    /// set, every Benchmark-kernel point additionally re-runs its first
+    /// min(forensics_trials, trials) trials under the forensic probe
+    /// (store hits included — the re-run is independent of warm/cold) and
+    /// the ForensicSink artifacts are written into the directory at the
+    /// end of the run. PointSummaries, CSVs, the manifest and the store
+    /// are untouched by construction.
+    std::string forensics_dir;
+    /// Trials forensically sampled per point (clamped to the point's
+    /// trial count).
+    std::size_t forensics_trials = 32;
 };
 
 /// Outcome of a PoffSearchSpec panel: the bisection bracket around the
@@ -193,6 +206,8 @@ private:
     CampaignSpec spec_;
     RunOptions options_;
     PointStore store_;
+    /// Live only while run() executes with forensics enabled.
+    std::unique_ptr<ForensicSink> forensic_sink_;
     obs::MetricsRegistry metrics_;  ///< used when options_.metrics is null
     /// Owned by run(): per-panel progress state (always constructed so
     /// wall-mode ledgers get ETA events even without a TTY).

@@ -67,6 +67,7 @@ void Cpu::reset(const Program& program) {
     prev_ex_result_ = 0;
     cycles_ = instructions_ = kernel_cycles_ = kernel_instructions_ = 0;
     fi_active_ = false;
+    fi_windows_ = 0;
     pending_stop_.reset();
     exit_code_ = 0;
     fault_addr_ = 0;
@@ -138,6 +139,8 @@ std::uint32_t Cpu::exec_alu(const Instr& instr, std::uint32_t a, std::uint32_t b
         ev.operand_b = b;
         ev.prev_result = prev_ex_result_;
         ev.cycle = cycles_;
+        ev.pc = pc_;
+        ev.window = static_cast<std::uint32_t>(fi_windows_);
         result = hook_->on_ex_result(ev, correct);
     }
     prev_ex_result_ = result;
@@ -168,7 +171,10 @@ std::optional<StopReason> Cpu::step() {
 
     // Kernel-window toggling happens before the cycle is spent so the
     // marker's own cycle is attributed consistently (begin: inside).
-    if (instr.op == Op::NOP && instr.imm == kNopKernelBegin) fi_active_ = true;
+    if (instr.op == Op::NOP && instr.imm == kNopKernelBegin) {
+        if (!fi_active_) ++fi_windows_;
+        fi_active_ = true;
+    }
 
     spend_cycles(bubbles + 1);
 

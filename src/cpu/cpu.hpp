@@ -42,6 +42,8 @@ struct ExEvent {
     std::uint32_t operand_b = 0;   ///< post-mux operand (immediate already selected)
     std::uint32_t prev_result = 0; ///< value latched at the ALU endpoints last time
     std::uint64_t cycle = 0;       ///< absolute cycle index of the EX computation
+    std::uint32_t pc = 0;          ///< address of the computing instruction
+    std::uint32_t window = 0;      ///< FI-window ordinal (Cpu::fi_windows())
 };
 
 /// Receives per-cycle and per-ALU-operation callbacks from the ISS.
@@ -160,6 +162,9 @@ public:
     std::uint64_t cycles() const { return cycles_; }
     std::uint64_t instructions() const { return instructions_; }
     bool fi_active() const { return fi_active_; }
+    /// FI windows entered since reset (kernel-begin markers that actually
+    /// opened a window); the ordinal stamped into ExEvent::window.
+    std::uint64_t fi_windows() const { return fi_windows_; }
     Memory& memory() { return mem_; }
     const Memory& memory() const { return mem_; }
 
@@ -222,6 +227,7 @@ private:
     std::uint64_t kernel_cycles_ = 0;
     std::uint64_t kernel_instructions_ = 0;
     bool fi_active_ = false;
+    std::uint64_t fi_windows_ = 0;
 
     // Exit bookkeeping for the current run.
     std::optional<StopReason> pending_stop_;

@@ -354,6 +354,8 @@ struct GenericHookPolicy {
                 ev.operand_b = (b_var);         \
                 ev.prev_result = prev;          \
                 ev.cycle = cycles;              \
+                ev.pc = pc;                     \
+                ev.window = static_cast<std::uint32_t>(fi_windows); \
                 result_var = policy.ex(ev, result_var); \
             }                                   \
         } else {                                \
@@ -523,6 +525,7 @@ RunResult Cpu::run_threaded_impl(std::uint64_t max_cycles, Policy policy) {
     bool flag = flag_;
     std::uint32_t prev = prev_ex_result_;
     bool fi = fi_active_;
+    std::uint64_t fi_windows = fi_windows_;
     std::uint64_t cycles = cycles_;
     std::uint64_t instructions = instructions_;
     std::uint64_t kcycles = kernel_cycles_;
@@ -637,6 +640,7 @@ top:
     SFI_KERNEL(NopKernelBegin) {
         if (!fi) {  // duplicate begin markers are no-ops, like legacy
             fi = true;
+            ++fi_windows;
             // Bases precede the spend and the retirement: the begin
             // marker's cycle and instruction both count inside the window.
             kcyc_base = cycles;
@@ -770,6 +774,7 @@ done:
     flag_ = flag;
     prev_ex_result_ = prev;
     fi_active_ = fi;
+    fi_windows_ = fi_windows;
     cycles_ = cycles;
     instructions_ = instructions;
     kernel_cycles_ = kcycles;

@@ -134,6 +134,12 @@ public:
     /// Bytes the next clear() will re-zero (the dirty range; testing aid).
     std::uint32_t dirty_bytes() const { return dirty_hi_ - dirty_lo_; }
 
+    /// Dirty-range bounds: bytes outside [dirty_lo(), dirty_hi()) are
+    /// guaranteed zero, so a state diff only has to walk the union of two
+    /// dirty ranges (fault forensics leans on this).
+    std::uint32_t dirty_lo() const { return dirty_lo_; }
+    std::uint32_t dirty_hi() const { return dirty_hi_; }
+
     /// Bytes written since the last checkpoint_image() (testing aid).
     std::uint32_t bytes_since_checkpoint() const { return sc_hi_ - sc_lo_; }
 

@@ -1,0 +1,475 @@
+#include "fi/forensics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "perf/json_writer.hpp"
+#include "util/csv.hpp"
+
+namespace sfi {
+
+const char* outcome_class_name(OutcomeClass cls) {
+    switch (cls) {
+        case OutcomeClass::Masked: return "masked";
+        case OutcomeClass::LatentCorrupt: return "latent_corrupt";
+        case OutcomeClass::SDC: return "sdc";
+        case OutcomeClass::Hang: return "hang";
+        case OutcomeClass::Detected: return "detected";
+        case OutcomeClass::kCount: break;
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Binary record stream
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+    put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+    return static_cast<std::uint32_t>(get_u16(p)) |
+           (static_cast<std::uint32_t>(get_u16(p + 2)) << 16);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+    return static_cast<std::uint64_t>(get_u32(p)) |
+           (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void write_fault_records(std::ostream& os,
+                         const std::vector<FaultRecord>& records) {
+    // Serialized explicitly field by field (little-endian, no struct
+    // padding) so the byte stream is host-layout-independent.
+    std::string buffer;
+    buffer.reserve(16 + records.size() * kFaultRecordBytes);
+    buffer.append(kForensicMagic, 8);
+    put_u32(buffer, static_cast<std::uint32_t>(kFaultRecordBytes));
+    put_u32(buffer, static_cast<std::uint32_t>(records.size()));
+    for (const FaultRecord& rec : records) {
+        put_u32(buffer, rec.trial);
+        put_u32(buffer, rec.point_id);
+        put_u64(buffer, rec.cycle);
+        put_u32(buffer, rec.pc);
+        put_u16(buffer, rec.window);
+        buffer.push_back(static_cast<char>(rec.op));
+        buffer.push_back(static_cast<char>(rec.cls));
+        buffer.push_back(static_cast<char>(rec.endpoint));
+        buffer.push_back(static_cast<char>(rec.policy));
+        buffer.push_back(static_cast<char>(rec.pre_bit));
+        buffer.push_back(static_cast<char>(rec.post_bit));
+        buffer.push_back(static_cast<char>(rec.razor));
+        buffer.push_back(0);  // reserved (keeps the record size even)
+    }
+    os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+}
+
+std::vector<FaultRecord> read_fault_records(std::istream& is) {
+    char header[16];
+    if (!is.read(header, sizeof(header)))
+        throw std::runtime_error("fault records: truncated header");
+    if (std::memcmp(header, kForensicMagic, 8) != 0)
+        throw std::runtime_error("fault records: bad magic");
+    const auto* h = reinterpret_cast<const unsigned char*>(header);
+    const std::uint32_t record_size = get_u32(h + 8);
+    const std::uint32_t count = get_u32(h + 12);
+    if (record_size != kFaultRecordBytes)
+        throw std::runtime_error("fault records: unexpected record size");
+    std::vector<FaultRecord> records;
+    records.reserve(count);
+    unsigned char raw[kFaultRecordBytes];
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (!is.read(reinterpret_cast<char*>(raw), sizeof(raw)))
+            throw std::runtime_error("fault records: truncated payload");
+        FaultRecord rec;
+        rec.trial = get_u32(raw);
+        rec.point_id = get_u32(raw + 4);
+        rec.cycle = get_u64(raw + 8);
+        rec.pc = get_u32(raw + 16);
+        rec.window = get_u16(raw + 20);
+        rec.op = raw[22];
+        rec.cls = raw[23];
+        rec.endpoint = raw[24];
+        rec.policy = raw[25];
+        rec.pre_bit = raw[26];
+        rec.post_bit = raw[27];
+        rec.razor = raw[28];
+        records.push_back(rec);
+    }
+    return records;
+}
+
+std::size_t latency_bucket(std::uint32_t latency_cycles) {
+    if (latency_cycles == 0) return 0;
+    std::size_t bucket = 1;
+    while (bucket + 1 < kLatencyBuckets &&
+           latency_cycles >= (1u << bucket))
+        ++bucket;
+    return bucket;
+}
+
+// ---------------------------------------------------------------------------
+// ForensicSink
+// ---------------------------------------------------------------------------
+
+std::uint32_t ForensicSink::begin_point(std::string panel, std::string model,
+                                        std::string kernel,
+                                        const OperatingPoint& point) {
+    ForensicPointInfo info;
+    info.point_id = static_cast<std::uint32_t>(points_.size());
+    info.panel = std::move(panel);
+    info.model = std::move(model);
+    info.kernel = std::move(kernel);
+    info.freq_mhz = point.freq_mhz;
+    info.vdd = point.vdd;
+    info.sigma_mv = point.noise.sigma_mv;
+    points_.push_back(std::move(info));
+    return points_.back().point_id;
+}
+
+void ForensicSink::add_trial(std::uint32_t point_id, OutcomeClass cls,
+                             bool finished, bool correct,
+                             std::uint32_t razor_detected,
+                             std::uint32_t razor_escaped,
+                             std::vector<FaultRecord> records,
+                             const std::vector<std::uint32_t>& latencies) {
+    ForensicPointInfo& info = points_.at(point_id);
+    ++info.trials_sampled;
+    ++trials_recorded_;
+    if (finished) ++info.finished;
+    if (correct) ++info.correct;
+    ++info.outcomes[static_cast<std::size_t>(cls)];
+    info.injections += records.size();
+    info.razor_detected += razor_detected;
+    info.razor_escaped += razor_escaped;
+
+    // Derating attribution: one trial counts once per distinct key it
+    // injected into, regardless of how many records share the key.
+    const bool sdc = cls == OutcomeClass::SDC;
+    const auto fold = [sdc](auto& map, auto key, std::uint64_t injections) {
+        KeyTally& tally = map[key];
+        tally.injections += injections;
+        ++tally.trials;
+        if (sdc) ++tally.sdc_trials;
+    };
+    std::map<std::uint8_t, std::uint64_t> cls_seen, bit_seen;
+    std::map<std::uint32_t, std::uint64_t> pc_seen;
+    for (FaultRecord& rec : records) {
+        rec.point_id = point_id;
+        ++cls_seen[rec.cls];
+        ++bit_seen[rec.endpoint];
+        ++pc_seen[rec.pc];
+    }
+    for (const auto& [key, n] : cls_seen) fold(by_class_, key, n);
+    for (const auto& [key, n] : bit_seen) fold(by_bit_, key, n);
+    for (const auto& [key, n] : pc_seen) fold(by_pc_, key, n);
+    for (const std::uint32_t latency : latencies) {
+        ++latency_hist_[latency_bucket(latency)];
+        ++detections_;
+    }
+    records_.insert(records_.end(), records.begin(), records.end());
+}
+
+VulnerabilityReport ForensicSink::report() const {
+    VulnerabilityReport report;
+    for (const auto& [cls, tally] : by_class_)
+        report.by_class.push_back(
+            {ex_class_name(static_cast<ExClass>(cls)), tally.injections,
+             tally.trials, tally.sdc_trials});
+    for (const auto& [bit, tally] : by_bit_)
+        report.by_bit.push_back({"bit" + std::to_string(bit), tally.injections,
+                                 tally.trials, tally.sdc_trials});
+    for (const auto& [pc, tally] : by_pc_) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "0x%08x", pc);
+        report.by_pc.push_back(
+            {name, tally.injections, tally.trials, tally.sdc_trials});
+    }
+    // Hotspot ranking: injections descending, PC ascending on ties (the
+    // map order) — stable_sort keeps it deterministic.
+    std::stable_sort(report.by_pc.begin(), report.by_pc.end(),
+                     [](const auto& lhs, const auto& rhs) {
+                         return lhs.injections > rhs.injections;
+                     });
+    report.detection_latency_hist = latency_hist_;
+    report.detections = detections_;
+    return report;
+}
+
+void ForensicSink::write_records(std::ostream& os) const {
+    write_fault_records(os, records_);
+}
+
+namespace {
+
+void write_derating_csv(const std::string& path, const std::string& key_column,
+                        const std::vector<VulnerabilityReport::DeratingRow>& rows) {
+    CsvWriter csv(path);
+    csv.header({key_column, "injections", "trials", "sdc_trials",
+                "sdc_derating"});
+    for (const auto& row : rows) {
+        csv.cell(row.key)
+            .cell(row.injections)
+            .cell(row.trials)
+            .cell(row.sdc_trials)
+            .cell(row.sdc_derating());
+        csv.end_row();
+    }
+    csv.close();
+}
+
+}  // namespace
+
+void ForensicSink::write_artifacts(const std::string& dir) const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // ok if it exists
+
+    const std::string records_path = dir + "/records.bin";
+    {
+        std::ofstream os(records_path, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("forensics: cannot write " + records_path);
+        write_records(os);
+        os.flush();
+        if (!os)
+            throw std::runtime_error("forensics: write to " + records_path +
+                                     " failed");
+    }
+
+    const VulnerabilityReport rep = report();
+
+    const std::string json_path = dir + "/forensics.json";
+    {
+        std::ofstream os(json_path, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("forensics: cannot write " + json_path);
+        perf::JsonWriter json(os);
+        json.begin_object();
+        json.field("schema", "sfi-forensics");
+        json.field("version", 1);
+        json.field("record_count", static_cast<std::uint64_t>(records_.size()));
+        json.field("trials", trials_recorded_);
+        json.key("points");
+        json.begin_array();
+        for (const ForensicPointInfo& info : points_) {
+            json.begin_object();
+            json.field("point_id", static_cast<std::uint64_t>(info.point_id));
+            json.field("panel", info.panel);
+            json.field("model", info.model);
+            json.field("kernel", info.kernel);
+            json.field("freq_mhz", info.freq_mhz);
+            json.field("vdd", info.vdd);
+            json.field("sigma_mv", info.sigma_mv);
+            json.field("trials_sampled", info.trials_sampled);
+            json.field("finished", info.finished);
+            json.field("correct", info.correct);
+            json.key("outcomes");
+            json.begin_object();
+            for (std::size_t i = 0; i < kOutcomeClassCount; ++i)
+                json.field(outcome_class_name(static_cast<OutcomeClass>(i)),
+                           info.outcomes[i]);
+            json.end_object();
+            json.field("injections", info.injections);
+            json.field("razor_detected", info.razor_detected);
+            json.field("razor_escaped", info.razor_escaped);
+            json.end_object();
+        }
+        json.end_array();
+        json.key("report");
+        json.begin_object();
+        const auto emit_rows =
+            [&json](const char* name,
+                    const std::vector<VulnerabilityReport::DeratingRow>& rows) {
+                json.key(name);
+                json.begin_array();
+                for (const auto& row : rows) {
+                    json.begin_object();
+                    json.field("key", row.key);
+                    json.field("injections", row.injections);
+                    json.field("trials", row.trials);
+                    json.field("sdc_trials", row.sdc_trials);
+                    json.field("sdc_derating", row.sdc_derating());
+                    json.end_object();
+                }
+                json.end_array();
+            };
+        emit_rows("by_class", rep.by_class);
+        emit_rows("by_bit", rep.by_bit);
+        emit_rows("by_pc", rep.by_pc);
+        json.field("detections", rep.detections);
+        json.key("detection_latency_hist");
+        json.begin_array();
+        for (const std::uint64_t count : rep.detection_latency_hist)
+            json.value(count);
+        json.end_array();
+        json.end_object();
+        json.end_object();
+        os << "\n";
+        os.flush();
+        if (!os)
+            throw std::runtime_error("forensics: write to " + json_path +
+                                     " failed");
+    }
+
+    {
+        CsvWriter csv(dir + "/forensics_points.csv");
+        std::vector<std::string> columns = {
+            "panel",   "model",    "kernel",  "point_id", "freq_mhz",
+            "vdd",     "sigma_mv", "trials",  "finished", "correct"};
+        for (std::size_t i = 0; i < kOutcomeClassCount; ++i)
+            columns.push_back(outcome_class_name(static_cast<OutcomeClass>(i)));
+        columns.insert(columns.end(),
+                       {"injections", "razor_detected", "razor_escaped"});
+        csv.header(columns);
+        for (const ForensicPointInfo& info : points_) {
+            csv.cell(info.panel)
+                .cell(info.model)
+                .cell(info.kernel)
+                .cell(static_cast<std::uint64_t>(info.point_id))
+                .cell(info.freq_mhz)
+                .cell(info.vdd)
+                .cell(info.sigma_mv)
+                .cell(info.trials_sampled)
+                .cell(info.finished)
+                .cell(info.correct);
+            for (std::size_t i = 0; i < kOutcomeClassCount; ++i)
+                csv.cell(info.outcomes[i]);
+            csv.cell(info.injections)
+                .cell(info.razor_detected)
+                .cell(info.razor_escaped);
+            csv.end_row();
+        }
+        csv.close();
+    }
+
+    write_derating_csv(dir + "/forensics_by_class.csv", "ex_class",
+                       rep.by_class);
+    write_derating_csv(dir + "/forensics_by_bit.csv", "bit", rep.by_bit);
+    write_derating_csv(dir + "/forensics_by_pc.csv", "pc", rep.by_pc);
+
+    {
+        CsvWriter csv(dir + "/forensics_latency.csv");
+        csv.header({"bucket", "min_cycles", "max_cycles", "detections"});
+        for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+            const std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+            const std::uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
+            csv.cell(static_cast<std::uint64_t>(i))
+                .cell(lo)
+                .cell(hi)
+                .cell(rep.detection_latency_hist[i]);
+            csv.end_row();
+        }
+        csv.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// forensics_points.csv reader (sfi_trace)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Splits one CSV line with the quoting conventions of csv_escape
+/// (fields containing separators/quotes are double-quote wrapped,
+/// embedded quotes doubled).
+std::vector<std::string> split_csv_line(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field.push_back('"');
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+        } else if (c == '"' && field.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(field));
+            field.clear();
+        } else {
+            field.push_back(c);
+        }
+    }
+    fields.push_back(std::move(field));
+    return fields;
+}
+
+}  // namespace
+
+std::map<std::string, ForensicPanelTally> read_forensic_panel_tallies(
+    const std::string& csv_path) {
+    std::map<std::string, ForensicPanelTally> tallies;
+    std::ifstream is(csv_path);
+    if (!is) return tallies;
+    std::string line;
+    if (!std::getline(is, line)) return tallies;
+    const std::vector<std::string> header = split_csv_line(line);
+    const auto column = [&header](const std::string& name) -> std::ptrdiff_t {
+        const auto it = std::find(header.begin(), header.end(), name);
+        return it == header.end() ? -1 : it - header.begin();
+    };
+    const std::ptrdiff_t panel_col = column("panel");
+    const std::ptrdiff_t trials_col = column("trials");
+    std::array<std::ptrdiff_t, kOutcomeClassCount> class_col{};
+    for (std::size_t i = 0; i < kOutcomeClassCount; ++i)
+        class_col[i] = column(outcome_class_name(static_cast<OutcomeClass>(i)));
+    if (panel_col < 0 || trials_col < 0) return tallies;
+    const auto parse_u64 = [](const std::string& text) -> std::uint64_t {
+        try {
+            return std::stoull(text);
+        } catch (const std::exception&) {
+            return 0;
+        }
+    };
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_csv_line(line);
+        if (static_cast<std::size_t>(panel_col) >= fields.size()) continue;
+        ForensicPanelTally& tally = tallies[fields[panel_col]];
+        if (static_cast<std::size_t>(trials_col) < fields.size())
+            tally.trials += parse_u64(fields[trials_col]);
+        for (std::size_t i = 0; i < kOutcomeClassCount; ++i) {
+            const std::ptrdiff_t col = class_col[i];
+            if (col >= 0 && static_cast<std::size_t>(col) < fields.size())
+                tally.outcomes[i] += parse_u64(fields[col]);
+        }
+    }
+    return tallies;
+}
+
+}  // namespace sfi

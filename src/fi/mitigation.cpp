@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fi/forensics.hpp"
+
 namespace sfi {
 
 ErrorDetectionModel::ErrorDetectionModel(std::unique_ptr<FaultModel> inner,
@@ -36,10 +38,12 @@ std::uint32_t ErrorDetectionModel::corrupt(const ExEvent& ev,
     if (rng_.chance(config_.detection_coverage)) {
         ++detected_;
         ++stats_.injections;  // a detected violation still counts as an FI
+        if (probe_ != nullptr) probe_->mark_razor(true);
         return correct;       // replayed: architecturally clean
     }
     ++escaped_;
     ++stats_.injections;
+    if (probe_ != nullptr) probe_->mark_razor(false);
     return result;
 }
 

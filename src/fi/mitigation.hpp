@@ -70,6 +70,14 @@ public:
         inner_->count_clean_ops(n);
     }
 
+    /// The probe observes the inner model's injections (corrupt() drives
+    /// it through on_ex_result), and this decorator stamps the razor
+    /// verdict onto those records — so it is shared with the inner model.
+    void set_forensic_probe(ForensicProbe* probe) override {
+        FaultModel::set_forensic_probe(probe);
+        inner_->set_forensic_probe(probe);
+    }
+
 protected:
     std::uint32_t corrupt(const ExEvent& ev, std::uint32_t correct) override;
     void operating_point_changed() override;

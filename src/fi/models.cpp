@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "fi/forensics.hpp"
+
 namespace sfi {
 
 // ---------------------------------------------------------------------------
@@ -32,6 +34,7 @@ void FaultModel::on_cycles(std::uint64_t n, bool fi_active) {
 
 std::uint32_t FaultModel::on_ex_result(const ExEvent& ev, std::uint32_t correct) {
     ++stats_.alu_ops;
+    if (probe_ != nullptr) probe_->begin_op(ev);
     const std::uint64_t before = stats_.injections;
     const std::uint32_t result = corrupt(ev, correct);
     if (stats_.injections != before) ++stats_.corrupted_ops;
@@ -42,13 +45,19 @@ std::uint32_t FaultModel::apply_fault(std::uint32_t value, std::uint32_t endpoin
                                       std::uint32_t prev_result) {
     ++stats_.injections;
     const std::uint32_t mask = 1u << endpoint;
+    std::uint32_t result = value;
     switch (policy_) {
         case FaultPolicy::BitFlip:
-            return value ^ mask;
+            result = value ^ mask;
+            break;
         case FaultPolicy::StaleCapture:
-            return (value & ~mask) | (prev_result & mask);
+            result = (value & ~mask) | (prev_result & mask);
+            break;
     }
-    return value;
+    if (probe_ != nullptr)
+        probe_->record_injection(endpoint, (value & mask) != 0,
+                                 (result & mask) != 0, policy_);
+    return result;
 }
 
 std::vector<double> build_noise_window_table(const OperatingPoint& point,
@@ -268,6 +277,16 @@ std::uint32_t ModelB::apply_leading_faults(std::size_t count,
     // endpoints of order_: the endpoints are distinct bits, so BitFlip
     // XORs compose into one XOR of the union mask and StaleCapture's
     // per-bit splice composes into one masked merge.
+    if (probe_ != nullptr) {
+        // Forensics needs one record per endpoint, so a probed trial takes
+        // the per-endpoint walk the mask apply composes from. Same result,
+        // same statistics, no draws consumed either way — the probed trial
+        // stays bit-identical to the unprobed one.
+        std::uint32_t result = correct;
+        for (std::size_t k = 0; k < count; ++k)
+            result = apply_fault(result, order_[k], prev_result);
+        return result;
+    }
     stats_.injections += count;
     const std::uint32_t mask = cum_mask_[count];
     switch (policy_) {

@@ -31,6 +31,8 @@
 
 namespace sfi {
 
+class ForensicProbe;  // fi/forensics.hpp
+
 /// Operating point of a simulation run.
 struct OperatingPoint {
     double freq_mhz = 500.0;
@@ -139,6 +141,19 @@ public:
     const FiStats& stats() const { return stats_; }
     void reset_stats() { stats_ = FiStats{}; }
 
+    /// Attaches a forensic probe (null detaches; null is the default and
+    /// costs one pointer test per ALU op). While attached, the probe
+    /// receives one begin_op per on_ex_result and one record_injection per
+    /// apply_fault; model B's batched path switches to its provably
+    /// bit-identical per-endpoint walk (which consumes no extra draws), so
+    /// a probed trial reproduces the unprobed outcome, statistics and RNG
+    /// stream exactly. Virtual so decorating models (fi/mitigation.hpp)
+    /// share the probe with their inner model and stamp razor fates onto
+    /// its records. Probes are per-trial scratch state: attach around one
+    /// trial and detach before cloning the model.
+    virtual void set_forensic_probe(ForensicProbe* probe) { probe_ = probe; }
+    ForensicProbe* forensic_probe() const { return probe_; }
+
     // ExFaultHook:
     void on_cycle(bool fi_active) final;
     /// O(1) batch form (pure accumulation, so it is order-independent
@@ -178,6 +193,7 @@ protected:
     Rng rng_;
     FiStats stats_;
     FaultSamplingMode sampling_mode_ = FaultSamplingMode::Batched;
+    ForensicProbe* probe_ = nullptr;
 
 private:
     /// set_operating_point memoization guard: false until the first call,

@@ -1,5 +1,6 @@
 #include "mc/montecarlo.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -68,6 +69,18 @@ MonteCarloRunner::MonteCarloRunner(const Benchmark& benchmark, FaultModel& model
     watchdog_cycles_ = static_cast<std::uint64_t>(
         std::ceil(config_.watchdog_factor * static_cast<double>(golden_.cycles)));
 
+    // Forensic baseline: cpu_/memory_ still hold the reference run's final
+    // architectural state, so snapshot it here for classify_trial. Only
+    // the dirty slice of memory is copied — everything outside it is zero
+    // by Memory's class invariant, for the golden run and trials alike.
+    for (std::uint8_t i = 0; i < 32; ++i) golden_regs_[i] = cpu_.reg(i);
+    golden_flag_ = cpu_.flag();
+    golden_mem_lo_ = memory_.dirty_lo();
+    golden_mem_hi_ = memory_.dirty_hi();
+    golden_mem_.resize(golden_mem_hi_ - golden_mem_lo_);
+    for (std::uint32_t a = golden_mem_lo_; a < golden_mem_hi_; ++a)
+        golden_mem_[a - golden_mem_lo_] = memory_.read_u8_unchecked(a);
+
     clean_outcome_.stop = StopReason::Halted;
     clean_outcome_.finished = true;
     clean_outcome_.correct = true;
@@ -125,6 +138,79 @@ TrialOutcome MonteCarloRunner::run_trial_with(Cpu& cpu, FaultModel& model,
 TrialOutcome MonteCarloRunner::run_trial(const OperatingPoint& point,
                                          std::uint64_t trial) {
     return run_trial_with(cpu_, *model_, point, trial);
+}
+
+bool MonteCarloRunner::arch_state_differs(const Cpu& cpu) const {
+    // r0 is the write sink — architecturally always zero, and the threaded
+    // engine's slot-32 trick means its raw cell is never corrupted anyway.
+    for (std::uint8_t i = 1; i < 32; ++i)
+        if (cpu.reg(i) != golden_regs_[i]) return true;
+    if (cpu.flag() != golden_flag_) return true;
+    const Memory& mem = cpu.memory();
+    const std::uint32_t lo = std::min(golden_mem_lo_, mem.dirty_lo());
+    const std::uint32_t hi = std::max(golden_mem_hi_, mem.dirty_hi());
+    for (std::uint32_t a = lo; a < hi; ++a) {
+        const std::uint8_t golden =
+            (a >= golden_mem_lo_ && a < golden_mem_hi_)
+                ? golden_mem_[a - golden_mem_lo_]
+                : 0;
+        if (mem.read_u8_unchecked(a) != golden) return true;
+    }
+    return false;
+}
+
+OutcomeClass MonteCarloRunner::classify_trial(const Cpu& cpu,
+                                              const TrialOutcome& outcome,
+                                              std::uint32_t razor_detected) const {
+    if (!outcome.finished) return OutcomeClass::Hang;
+    if (!outcome.correct) return OutcomeClass::SDC;
+    if (razor_detected > 0) return OutcomeClass::Detected;
+    if (arch_state_differs(cpu)) return OutcomeClass::LatentCorrupt;
+    return OutcomeClass::Masked;
+}
+
+TrialForensics MonteCarloRunner::run_trial_forensic(Cpu& cpu, FaultModel& model,
+                                                    const OperatingPoint& point,
+                                                    std::uint64_t trial,
+                                                    ForensicProbe& probe) const {
+    TrialForensics fx;
+
+    model.set_operating_point(point);
+    // Fast-path trials ARE the golden run: vacuously Masked, zero records.
+    // Mirrors run_trial_with exactly so the forensic re-run of a point
+    // classifies the same trials the summary counted.
+    if (config_.zero_fault_fast_path && !model.can_inject() &&
+        golden_.cycles <= watchdog_cycles_) {
+        model.set_sampling_mode(config_.fault_sampling);
+        model.reset_stats();
+        model.reseed(trial_seeder_.fork(trial)());
+        model.adopt_stats(clean_outcome_.fi);
+        fx.outcome = clean_outcome_;
+        fx.cls = OutcomeClass::Masked;
+        return fx;
+    }
+
+    probe.start_trial();
+    model.set_forensic_probe(&probe);
+    // The probed run must be bit-identical to the plain one, so the trial
+    // body below is run_trial_with verbatim (the probe adds no draws).
+    fx.outcome = run_trial_with(cpu, model, point, trial);
+    model.set_forensic_probe(nullptr);
+
+    fx.razor_detected = probe.detected();
+    fx.razor_escaped = probe.escaped();
+    fx.cls = classify_trial(cpu, fx.outcome, fx.razor_detected);
+    fx.records = probe.take_records();
+    for (FaultRecord& rec : fx.records)
+        rec.trial = static_cast<std::uint32_t>(trial);
+    fx.detection_latencies = probe.take_latencies();
+    return fx;
+}
+
+TrialForensics MonteCarloRunner::run_trial_forensic(const OperatingPoint& point,
+                                                    std::uint64_t trial) {
+    ForensicProbe probe;
+    return run_trial_forensic(cpu_, *model_, point, trial, probe);
 }
 
 PointSummary MonteCarloRunner::run_point(const OperatingPoint& point) {

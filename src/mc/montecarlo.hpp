@@ -8,11 +8,13 @@
 // of the runs that finished.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "apps/benchmark.hpp"
 #include "cpu/cpu.hpp"
+#include "fi/forensics.hpp"
 #include "fi/models.hpp"
 #include "perf/perf.hpp"
 #include "util/rng.hpp"
@@ -78,6 +80,20 @@ struct TrialOutcome {
     std::uint64_t kernel_cycles = 0;  ///< cycles inside the marked kernel region
 };
 
+/// One trial re-run under a ForensicProbe: the ordinary outcome plus the
+/// per-injection provenance records and the trial's outcome class.
+/// Forensics never feeds PointSummary — the plain trial path stays the
+/// single source of the paper's metrics, and this struct is strictly
+/// additive observation on top of it.
+struct TrialForensics {
+    TrialOutcome outcome;
+    OutcomeClass cls = OutcomeClass::Masked;
+    std::uint32_t razor_detected = 0;  ///< razor verdicts this trial
+    std::uint32_t razor_escaped = 0;
+    std::vector<FaultRecord> records;  ///< injection order; trial stamped
+    std::vector<std::uint32_t> detection_latencies;  ///< cycles, per detection
+};
+
 /// Aggregate of config.trials TrialOutcomes at one operating point — one
 /// x-axis sample of the paper's figure panels.
 struct PointSummary {
@@ -131,6 +147,37 @@ public:
                                 const OperatingPoint& point,
                                 std::uint64_t trial) const;
 
+    /// One trial re-run with full forensic observation: attaches `probe`
+    /// to `model` for the duration of the run, classifies the final
+    /// architectural state against the golden baseline and returns the
+    /// stamped injection records. Bit-identical to run_trial_with in every
+    /// TrialOutcome field (the probe adds no RNG draws — proven by
+    /// tests/fi/test_forensics.cpp). Safe to call concurrently with
+    /// distinct cpu/model/probe triples, like run_trial_with.
+    TrialForensics run_trial_forensic(Cpu& cpu, FaultModel& model,
+                                      const OperatingPoint& point,
+                                      std::uint64_t trial,
+                                      ForensicProbe& probe) const;
+
+    /// Convenience serial form on the runner's own Cpu and model.
+    TrialForensics run_trial_forensic(const OperatingPoint& point,
+                                      std::uint64_t trial);
+
+    /// Outcome taxonomy for a completed trial: Hang (watchdog / abnormal
+    /// stop), SDC (finished, wrong output), Detected (correct with razor
+    /// detections), LatentCorrupt (correct output but architectural state
+    /// differs from the golden run), Masked (indistinguishable from the
+    /// golden run). `cpu` must still hold the trial's final state.
+    OutcomeClass classify_trial(const Cpu& cpu, const TrialOutcome& outcome,
+                                std::uint32_t razor_detected) const;
+
+    /// True when `cpu`'s architectural state (registers r1..r31, compare
+    /// flag, data memory) differs from the golden run's final state. The
+    /// r0 write sink is ignored (architecturally hardwired to zero) and
+    /// the memory walk covers only the union of the two dirty ranges —
+    /// bytes outside them are zero by Memory's class invariant.
+    bool arch_state_differs(const Cpu& cpu) const;
+
     /// config.trials independent trials, aggregated in trial-index order.
     /// Fans out over McConfig::threads workers when threads != 1; the
     /// result is bit-identical to the serial loop.
@@ -177,6 +224,14 @@ private:
     /// Template outcome of a provably injection-free trial (== the golden
     /// run, FI counters included); what the zero-fault fast path returns.
     TrialOutcome clean_outcome_;
+    /// Golden-run architectural baseline for forensic classification:
+    /// final register file, compare flag and the dirty slice of data
+    /// memory, captured right after the reference run at construction.
+    std::array<std::uint32_t, 32> golden_regs_{};
+    bool golden_flag_ = false;
+    std::uint32_t golden_mem_lo_ = 0;
+    std::uint32_t golden_mem_hi_ = 0;
+    std::vector<std::uint8_t> golden_mem_;  ///< bytes [golden_mem_lo_, golden_mem_hi_)
     /// Per-trial stream derivation base (seeded once from config_.seed;
     /// fork(trial) is const, so sharing it across threads is safe).
     Rng trial_seeder_;

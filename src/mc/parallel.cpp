@@ -153,6 +153,30 @@ std::vector<TrialOutcome> run_trial_block(
     return outcomes;
 }
 
+std::vector<TrialForensics> run_forensic_block(
+    const MonteCarloRunner& runner, const OperatingPoint& point,
+    std::uint64_t first_trial, std::size_t count,
+    const std::vector<std::unique_ptr<TrialContext>>& contexts) {
+    const std::size_t threads =
+        std::clamp<std::size_t>(contexts.size(), 1,
+                                std::max<std::size_t>(count, 1));
+    const std::size_t chunk = std::max<std::size_t>(count / (threads * 8), 1);
+
+    // One probe per worker, reused across its trials (start_trial clears
+    // it); run_trial_forensic moves the records out before the next grab.
+    std::vector<ForensicProbe> probes(contexts.size());
+
+    std::vector<TrialForensics> results(count);
+    for_each_trial(count, threads, chunk,
+                   [&](std::size_t worker, std::uint64_t offset) {
+                       TrialContext& context = *contexts[worker];
+                       results[offset] = runner.run_trial_forensic(
+                           context.cpu, *context.model, point,
+                           first_trial + offset, probes[worker]);
+                   });
+    return results;
+}
+
 std::vector<TrialOutcome> run_trials_parallel(const MonteCarloRunner& runner,
                                               const OperatingPoint& point,
                                               std::size_t threads) {

@@ -96,4 +96,16 @@ std::vector<TrialOutcome> run_trial_block(
     const std::vector<std::unique_ptr<TrialContext>>& contexts,
     obs::Ledger* ledger = nullptr);
 
+/// Forensic variant of run_trial_block: the same chunked self-scheduling
+/// fan-out, but every trial runs under its worker's ForensicProbe and the
+/// results carry records, razor counters and outcome classes. Results are
+/// indexed relative to the block start, so feeding them to a ForensicSink
+/// in index order yields a record stream bitwise identical to the serial
+/// loop at any thread count (the probe buffers per worker; nothing is
+/// emitted in scheduling order).
+std::vector<TrialForensics> run_forensic_block(
+    const MonteCarloRunner& runner, const OperatingPoint& point,
+    std::uint64_t first_trial, std::size_t count,
+    const std::vector<std::unique_ptr<TrialContext>>& contexts);
+
 }  // namespace sfi

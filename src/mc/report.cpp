@@ -33,7 +33,8 @@ void write_sweep_csv(const std::string& path,
             .cell(p.finished_frac())
             .cell(p.correct_frac())
             .cell(p.fi_rate)
-            .cell(p.mean_error)
+            .cell(p.finished_count ? format_double(p.mean_error)
+                                   : std::string())
             .cell(static_cast<std::uint64_t>(p.trials));
         csv.end_row();
     }

@@ -18,9 +18,12 @@ void print_sweep(std::ostream& os, const std::string& title,
                  const std::string& error_label);
 
 /// Same series as CSV (columns: freq_mhz, vdd, sigma_mv, finished, correct,
-/// fi_per_kcycle, mean_error, trials). Empty path = skip. Missing parent
-/// directories are created; open or write failures throw
-/// std::runtime_error instead of silently dropping the figure data.
+/// fi_per_kcycle, mean_error, trials). mean_error averages output error
+/// over *finished* trials only, so a point where nothing finished emits an
+/// empty cell (matching the table's "n/a") rather than a meaningless 0.
+/// Empty path = skip. Missing parent directories are created; open or
+/// write failures throw std::runtime_error instead of silently dropping
+/// the figure data.
 void write_sweep_csv(const std::string& path,
                      const std::vector<PointSummary>& sweep);
 

@@ -11,6 +11,7 @@ const char* phase_name(Phase phase) {
         case Phase::TrialRun: return "trial_run";
         case Phase::Aggregation: return "aggregation";
         case Phase::FaultSamplingBatch: return "fault_sampling_batch";
+        case Phase::Forensics: return "forensics";
     }
     return "?";
 }

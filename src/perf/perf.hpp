@@ -41,9 +41,10 @@ enum class Phase : std::uint8_t {
     TrialRun,       ///< Monte-Carlo trial execution (ISS runs)
     Aggregation,    ///< folding TrialOutcomes into PointSummaries
     FaultSamplingBatch,  ///< batched corrupt() evaluation (per ALU op)
+    Forensics,      ///< forensic trial re-runs + artifact aggregation
 };
 
-inline constexpr std::size_t kPhaseCount = 7;
+inline constexpr std::size_t kPhaseCount = 8;
 
 /// Stable snake_case identifier used in the JSON schema ("dta_eval", ...).
 const char* phase_name(Phase phase);

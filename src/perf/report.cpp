@@ -26,6 +26,10 @@ void write_bench_core_json(std::ostream& os, const PerfReport& report) {
     for (std::size_t i = 0; i < kPhaseCount; ++i) {
         const Phase phase = static_cast<Phase>(i);
         const PhaseStats& stats = report.phases.stats(phase);
+        // The forensics row appears only when forensics actually ran:
+        // keeps BENCH_core.json byte-identical for forensics-off runs
+        // (the zero-overhead-off guarantee, docs/ARCHITECTURE.md).
+        if (phase == Phase::Forensics && stats.calls == 0) continue;
         json.begin_object();
         json.field("phase", phase_name(phase));
         json.field("seconds", stats.seconds);

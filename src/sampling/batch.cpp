@@ -29,6 +29,11 @@ void BatchedExecutor::run_batch(PointSummary& summary,
     if (wall) ledger_->end("batch", {{"trials", summary.trials}});
 }
 
+std::vector<TrialForensics> BatchedExecutor::run_forensics(
+    const OperatingPoint& point, std::size_t count) {
+    return run_forensic_block(*runner_, point, 0, count, contexts_);
+}
+
 PointSummary BatchedExecutor::run_fixed(const OperatingPoint& point,
                                         std::size_t trials,
                                         std::size_t batch_size) {

@@ -62,6 +62,15 @@ public:
     PointSummary run_fixed(const OperatingPoint& point, std::size_t trials,
                            std::size_t batch_size);
 
+    /// Forensic re-run of trials [0, count) at `point` over the executor's
+    /// contexts (run_forensic_block). Purely observational: the returned
+    /// TrialForensics never feed a PointSummary, and each trial outcome is
+    /// bit-identical to what run_batch produced for the same index. The
+    /// record stream (results in index order) is bitwise identical at any
+    /// thread count.
+    std::vector<TrialForensics> run_forensics(const OperatingPoint& point,
+                                              std::size_t count);
+
     const MonteCarloRunner& runner() const { return *runner_; }
 
     /// Attaches observability sinks (either may be null). Wall-mode

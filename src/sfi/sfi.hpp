@@ -25,6 +25,8 @@
 #include "cpu/memory.hpp"
 #include "fi/cdf.hpp"
 #include "fi/core_model.hpp"
+#include "fi/forensics.hpp"
+#include "fi/mitigation.hpp"
 #include "fi/models.hpp"
 #include "fi/noise.hpp"
 #include "fi/sampling_batch.hpp"

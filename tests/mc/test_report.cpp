@@ -121,12 +121,34 @@ TEST_F(ReportCsvTest, RoundTripsEveryColumn) {
         EXPECT_EQ(std::strtod(cells[4].c_str(), nullptr),
                   expected.correct_frac());
         EXPECT_EQ(std::strtod(cells[5].c_str(), nullptr), expected.fi_rate);
-        EXPECT_EQ(std::strtod(cells[6].c_str(), nullptr), expected.mean_error);
+        if (expected.finished_count == 0)
+            EXPECT_EQ(cells[6], "");  // mean over zero finished trials
+        else
+            EXPECT_EQ(std::strtod(cells[6].c_str(), nullptr),
+                      expected.mean_error);
         EXPECT_EQ(std::strtoull(cells[7].c_str(), nullptr, 10),
                   expected.trials);
     }
     std::string extra;
     EXPECT_FALSE(std::getline(is, extra)) << "unexpected trailing row";
+}
+
+TEST_F(ReportCsvTest, MeanErrorCellEmptyWhenNothingFinished) {
+    // An all-hang point has no finished trials to average over: the CSV
+    // must emit an empty mean_error cell (the table prints "n/a"), never
+    // a stale TrialOutcome::output_error or a fake 0 — regardless of the
+    // garbage value mean_error happens to hold.
+    const std::string path = dir_ + "/hang.csv";
+    write_sweep_csv(path, {make_summary(725.0, 40, 0, 0, 2.5e3, 123.456),
+                           make_summary(700.0, 40, 40, 40, 0.0, 0.5)});
+
+    std::ifstream is(path);
+    std::string header, all_hang, healthy;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, all_hang));
+    ASSERT_TRUE(std::getline(is, healthy));
+    EXPECT_EQ(split(all_hang, ',')[6], "");
+    EXPECT_EQ(std::strtod(split(healthy, ',')[6].c_str(), nullptr), 0.5);
 }
 
 TEST_F(ReportCsvTest, EmptyPathSkipsWriting) {

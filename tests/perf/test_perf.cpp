@@ -123,6 +123,7 @@ TEST(PhaseProfile, PhaseNamesAreStableIdentifiers) {
     EXPECT_STREQ(phase_name(Phase::Aggregation), "aggregation");
     EXPECT_STREQ(phase_name(Phase::FaultSamplingBatch),
                  "fault_sampling_batch");
+    EXPECT_STREQ(phase_name(Phase::Forensics), "forensics");
 }
 
 // ---------------------------------------------------------------------------
@@ -379,10 +380,12 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
     EXPECT_EQ(doc->at("config").at("seed").number, 7.0);
     EXPECT_EQ(doc->at("config").at("benchmark").string, "median");
 
-    // One phase row per taxonomy entry, in enum order, values preserved.
+    // One phase row per taxonomy entry, in enum order, values preserved —
+    // except "forensics", which is emitted only when it ran (calls > 0):
+    // make_report never touches it, so exactly kPhaseCount - 1 rows here.
     // Schema v2 inserted "decode" (micro-op lowering) before "trial_run".
     const auto& phases = doc->at("phases").array;
-    ASSERT_EQ(phases.size(), kPhaseCount);
+    ASSERT_EQ(phases.size(), kPhaseCount - 1);
     EXPECT_EQ(phases[0]->at("phase").string, "dta_eval");
     EXPECT_DOUBLE_EQ(phases[0]->at("seconds").number, 1.25);
     EXPECT_EQ(phases[0]->at("items").number, 10240.0);
@@ -432,6 +435,19 @@ TEST(BenchCoreJson, RoundTripParseMatchesSchema) {
     EXPECT_DOUBLE_EQ(gauges[0]->at("value").number, 2.5);
 
     EXPECT_DOUBLE_EQ(doc->at("wall_clock_s").number, 5.75);
+}
+
+TEST(BenchCoreJson, ForensicsPhaseRowOnlyWhenRun) {
+    PerfReport report = make_report();
+    report.phases.add(Phase::Forensics, 0.25, 64);
+    std::ostringstream os;
+    write_bench_core_json(os, report);
+    const auto doc = JsonParser(os.str()).parse();
+    const auto& phases = doc->at("phases").array;
+    ASSERT_EQ(phases.size(), kPhaseCount);
+    EXPECT_EQ(phases[7]->at("phase").string, "forensics");
+    EXPECT_DOUBLE_EQ(phases[7]->at("seconds").number, 0.25);
+    EXPECT_EQ(phases[7]->at("items").number, 64.0);
 }
 
 TEST(BenchCoreJson, AbsentCampaignIsNull) {
