@@ -252,6 +252,14 @@ int main(int argc, char** argv) {
                                           fault_c, mc, {1}, &report.phases));
     report.kernels.push_back(bench_kernel("modelA-p1e-4", *bench, *model_a,
                                           fault_b, mc, {1}, &report.phases));
+    {
+        // CWC decorator cost on top of model C: same point as modelC-fault,
+        // so the delta is the per-op weight-check overhead.
+        CwcDetectionModel cwc(core.make_model_c(), CwcConfig{});
+        report.kernels.push_back(bench_kernel("modelC-cwc8", *bench, cwc,
+                                              fault_c, mc, {1},
+                                              &report.phases));
+    }
 
     // Zero-fault fast path: same point, fast path off vs. on (serial).
     {

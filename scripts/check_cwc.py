@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Independently re-derive a CWC coverage table and compare it to the one
+bench_cwc_compare emitted (cwc_coverage.csv), so CI catches any drift
+between the C++ detection-probability math (src/fi/cwc.cpp) and the
+documented model (docs/MITIGATIONS.md). Everything is recomputed from
+scratch in Python — binomials, the code geometry, the enumerative
+encoder, the escape probability and the ALU semantics — deliberately
+sharing no code with the implementation under test:
+
+  1. the code parameters in the CSV are the least n with
+     C(n, floor(n/2)) >= 2^k and w = floor(n/2);
+  2. every (ex_class, bit) row's coverage equals the brute-force mean of
+     1 - prod(escape(d_block)) over ALL operand pairs in
+     [0, 2^operand_bits)^2, where d_block is the Hamming distance of the
+     affected block's codewords and escape(d) = C(d, d/2) / 2^d;
+  3. the table is complete: one row per (ALU class, bit 0..31).
+
+Mismatches beyond 1e-9 (the CSV round-trips doubles losslessly, so the
+only tolerance needed is the float summation order) fail the check.
+
+Usage: check_cwc.py CWC_COVERAGE_CSV
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import csv
+import math
+import sys
+
+ALU_CLASSES = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+               "mul", "cmp")
+MASK32 = 0xFFFFFFFF
+
+
+def fail(message):
+    print(f"check_cwc: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def code_for_block_bits(k):
+    """The smallest central constant-weight code holding k data bits."""
+    n = k
+    while math.comb(n, n // 2) < (1 << k):
+        n += 1
+    return n, n // 2
+
+
+def encode_enumerative(n, w, index):
+    """Lexicographic MSB-first unranking of `index` into an (n, w) word."""
+    word = 0
+    r = w
+    for p in range(n - 1, -1, -1):
+        if r == 0:
+            break
+        c = math.comb(p, r)
+        if index >= c:
+            word |= 1 << p
+            index -= c
+            r -= 1
+    return word
+
+
+def escape_probability(d):
+    """P(a random weight-preserving capture set misses a distance-d pair):
+    of the 2^d subsets of the d flipped positions, the C(d, d/2) balanced
+    ones keep the codeword weight and escape the check."""
+    if d == 0:
+        return 1.0
+    return math.comb(d, d // 2) / float(1 << d)
+
+
+def alu_result(cls, a, b):
+    if cls == "add":
+        return (a + b) & MASK32
+    if cls in ("sub", "cmp"):  # compare latches the difference
+        return (a - b) & MASK32
+    if cls == "and":
+        return a & b
+    if cls == "or":
+        return a | b
+    if cls == "xor":
+        return a ^ b
+    if cls == "sll":
+        return (a << (b & 31)) & MASK32
+    if cls == "srl":
+        return a >> (b & 31)
+    if cls == "sra":
+        signed = a - (1 << 32) if a & (1 << 31) else a
+        return (signed >> (b & 31)) & MASK32
+    if cls == "mul":
+        return (a * b) & MASK32
+    raise ValueError(f"unknown ALU class {cls!r}")
+
+
+def detect_probability(k, n, w, correct, corrupted, encode_cache):
+    """1 - product of per-block escape probabilities over the blocks in
+    which `corrupted` differs from `correct`."""
+    if correct == corrupted:
+        return 0.0
+    escape = 1.0
+    mask = (1 << k) - 1
+    for block in range(32 // k):
+        x = (correct >> (block * k)) & mask
+        y = (corrupted >> (block * k)) & mask
+        if x == y:
+            continue
+        d = bin(encode_cache[x] ^ encode_cache[y]).count("1")
+        escape *= escape_probability(d)
+    return 1.0 - escape
+
+
+def expected_table(k, operand_bits):
+    n, w = code_for_block_bits(k)
+    encode_cache = [encode_enumerative(n, w, x) for x in range(1 << k)]
+    span = 1 << operand_bits
+    table = {}
+    for cls in ALU_CLASSES:
+        sums = [0.0] * 32
+        for a in range(span):
+            for b in range(span):
+                r = alu_result(cls, a, b)
+                for bit in range(32):
+                    sums[bit] += detect_probability(k, n, w, r,
+                                                    r ^ (1 << bit),
+                                                    encode_cache)
+        for bit in range(32):
+            table[(cls, bit)] = sums[bit] / float(span * span)
+    return n, w, table
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv.DictReader(f))
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not rows:
+        fail(f"{path}: empty table")
+
+    k = int(rows[0]["block_bits"])
+    operand_bits = int(rows[0]["operand_bits"])
+    if operand_bits > 6:
+        fail(f"operand_bits {operand_bits} too wide to brute-force here")
+    n, w, expected = expected_table(k, operand_bits)
+
+    seen = set()
+    for row in rows:
+        if int(row["block_bits"]) != k or int(row["operand_bits"]) != operand_bits:
+            fail(f"{path}: mixed code/operand parameters in one table")
+        if int(row["code_n"]) != n or int(row["code_w"]) != w:
+            fail(f"code ({row['code_n']}, {row['code_w']}) for k={k}: "
+                 f"expected the least central code ({n}, {w})")
+        key = (row["ex_class"], int(row["bit"]))
+        if key not in expected:
+            fail(f"unexpected row {key}")
+        if key in seen:
+            fail(f"duplicate row {key}")
+        seen.add(key)
+        got = float(row["coverage"])
+        want = expected[key]
+        if abs(got - want) > 1e-9:
+            fail(f"coverage({key[0]}, bit {key[1]}) = {got!r}, "
+                 f"brute force says {want!r}")
+    missing = set(expected) - seen
+    if missing:
+        fail(f"{len(missing)} missing rows, e.g. {sorted(missing)[0]}")
+
+    print(f"check_cwc: OK: {len(rows)} rows, cwc{k} = ({n}, {w}) code, "
+          f"operand_bits {operand_bits}, all coverages match brute force")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

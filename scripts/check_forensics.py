@@ -8,8 +8,8 @@ artifact before a human reads the vulnerability tables:
   2. records are sorted by (point_id, trial) — the drain order that
      makes the stream byte-identical across worker thread counts — and
      cycles are non-decreasing within a trial;
-  3. every record's razor fate is in the pinned vocabulary (0 none,
-     1 detected, 2 escaped);
+  3. every record's detector fate is in the pinned vocabulary (0 none,
+     1 razor-detected, 2 razor-escaped, 3 cwc-detected, 4 cwc-escaped);
   4. per-point record counts reconcile with the `injections` totals in
      forensics.json, and the stream total matches `record_count`;
   5. the outcome taxonomy adds up per point, in forensics.json AND in
@@ -32,7 +32,7 @@ import sys
 MAGIC = b"SFIFRNS1"
 RECORD_BYTES = 30
 OUTCOME_CLASSES = ("masked", "latent_corrupt", "sdc", "hang", "detected")
-RAZOR_FATES = (0, 1, 2)  # none / detected / escaped
+RAZOR_FATES = (0, 1, 2, 3, 4)  # none / razor det+esc / cwc det+esc
 
 
 def fail(message):

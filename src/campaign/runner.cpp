@@ -8,6 +8,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "fi/cwc.hpp"
+#include "fi/mitigation.hpp"
 #include "isa/isa.hpp"
 #include "mc/report.hpp"
 #include "mc/sweep.hpp"
@@ -45,6 +47,25 @@ const char* model_kind_name(ModelSpec::Kind kind) {
         case ModelSpec::Kind::C: return "C";
     }
     return "unknown";
+}
+
+/// Model label shared by the ledger panel payload and the forensic point
+/// registry: the bare kind ("A", "B", "B+", "C") wrapped in its
+/// mitigation decorator ("razor(C)", "cwc8(B+)") when the panel has one.
+std::string model_label(const PanelSpec& panel, const OperatingPoint& base) {
+    const std::string bare =
+        panel.model.kind == ModelSpec::Kind::B && base.noise.sigma_mv > 0.0
+            ? "B+"
+            : model_kind_name(panel.model.kind);
+    switch (panel.model.mitigation) {
+        case ModelSpec::Mitigation::Razor:
+            return "razor(" + bare + ")";
+        case ModelSpec::Mitigation::Cwc:
+            return "cwc" + std::to_string(panel.model.cwc_block_bits) + "(" +
+                   bare + ")";
+        case ModelSpec::Mitigation::None: break;
+    }
+    return bare;
 }
 
 const char* panel_kind_name(const PanelSpec& panel) {
@@ -200,8 +221,30 @@ std::unique_ptr<FaultModel> CampaignRunner::make_model(
     }
     // The factory paths stamp the core's sampling mode already (memoized
     // no-op here); the directly-constructed conditioned ModelC does not.
+    // Mode and policy land on the inner model BEFORE a decorator wraps it:
+    // set_policy is non-virtual, so it must reach the model that injects.
     model->set_sampling_mode(panel_core.config().fault_sampling);
     model->set_policy(panel.model.policy);
+    switch (panel.model.mitigation) {
+        case ModelSpec::Mitigation::None:
+            break;
+        case ModelSpec::Mitigation::Razor:
+            model = std::make_unique<ErrorDetectionModel>(
+                std::move(model),
+                RazorConfig{panel.model.razor_coverage,
+                            panel.model.razor_replay_cycles});
+            model->set_sampling_mode(panel_core.config().fault_sampling);
+            break;
+        case ModelSpec::Mitigation::Cwc: {
+            CwcConfig config;
+            config.block_bits = panel.model.cwc_block_bits;
+            config.recovery_penalty_cycles = panel.model.cwc_recovery_cycles;
+            model = std::make_unique<CwcDetectionModel>(std::move(model),
+                                                        config);
+            model->set_sampling_mode(panel_core.config().fault_sampling);
+            break;
+        }
+    }
     return model;
 }
 
@@ -286,10 +329,7 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
             "panel",
             {{"name", panel.name},
              {"kind", panel_kind_name(panel)},
-             {"model", panel.model.kind == ModelSpec::Kind::B &&
-                               base.noise.sigma_mv > 0.0
-                           ? "B+"
-                           : model_kind_name(panel.model.kind)},
+             {"model", model_label(panel, base)},
              {"kernel", panel.kernel.kind == KernelSpec::Kind::Benchmark
                             ? benchmark_name(panel.kernel.benchmark)
                             : ex_class_name(panel.kernel.cls)}});
@@ -337,10 +377,7 @@ PanelResult CampaignRunner::run_panel(const PanelSpec& panel) {
     std::size_t point_index = 0;
     // Panel labels for the forensic point registry; mirrors the ledger's
     // panel payload above so the artifacts and traces name points alike.
-    const std::string forensic_model =
-        panel.model.kind == ModelSpec::Kind::B && base.noise.sigma_mv > 0.0
-            ? "B+"
-            : model_kind_name(panel.model.kind);
+    const std::string forensic_model = model_label(panel, base);
     const std::string forensic_kernel =
         panel.kernel.kind == KernelSpec::Kind::Benchmark
             ? benchmark_name(panel.kernel.benchmark)

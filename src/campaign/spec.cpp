@@ -58,6 +58,24 @@ ModelSpec ModelSpec::c() {
     return spec;
 }
 
+ModelSpec ModelSpec::with_razor(double coverage,
+                                unsigned replay_cycles) const {
+    ModelSpec spec = *this;
+    spec.mitigation = Mitigation::Razor;
+    spec.razor_coverage = coverage;
+    spec.razor_replay_cycles = replay_cycles;
+    return spec;
+}
+
+ModelSpec ModelSpec::with_cwc(unsigned block_bits,
+                              unsigned recovery_cycles) const {
+    ModelSpec spec = *this;
+    spec.mitigation = Mitigation::Cwc;
+    spec.cwc_block_bits = block_bits;
+    spec.cwc_recovery_cycles = recovery_cycles;
+    return spec;
+}
+
 KernelSpec KernelSpec::bench(BenchmarkId id) {
     KernelSpec spec;
     spec.kind = Kind::Benchmark;
@@ -90,6 +108,20 @@ void mix_model(Fingerprint& fp, const ModelSpec& model) {
     // Only model A's behavior depends on the flip probability; exclude it
     // otherwise so tweaking an unused knob cannot invalidate points.
     if (model.kind == ModelSpec::Kind::A) fp.mix(model.flip_probability);
+    // Mitigated panels salt the key with the decorator and only its own
+    // live knobs; a bare model mixes nothing here so every store written
+    // before mitigations existed keeps its keys.
+    if (model.mitigation != ModelSpec::Mitigation::None) {
+        fp.mix(std::uint64_t{0x4d49544947415445ull});  // "MITIGATE"
+        fp.mix(model.mitigation);
+        if (model.mitigation == ModelSpec::Mitigation::Razor) {
+            fp.mix(model.razor_coverage);
+            fp.mix(model.razor_replay_cycles);
+        } else {
+            fp.mix(model.cwc_block_bits);
+            fp.mix(model.cwc_recovery_cycles);
+        }
+    }
 }
 
 void mix_kernel(Fingerprint& fp, const KernelSpec& kernel) {

@@ -58,17 +58,34 @@ struct GridSpec {
 /// panel's base operating point.
 enum class Axis : std::uint8_t { Frequency, Voltage };
 
-/// Fault model to instantiate for a panel (paper Table 2).
+/// Fault model to instantiate for a panel (paper Table 2), optionally
+/// wrapped by an error-detection decorator (docs/MITIGATIONS.md).
 struct ModelSpec {
     enum class Kind : std::uint8_t { A, B, C };
+    /// Detection stage wrapped around the fault model. None mixes nothing
+    /// into point keys, so every store written before mitigations existed
+    /// stays byte-compatible.
+    enum class Mitigation : std::uint8_t { None, Razor, Cwc };
 
     Kind kind = Kind::C;
     double flip_probability = 1e-4;  ///< model A only
     FaultPolicy policy = FaultPolicy::BitFlip;
 
+    Mitigation mitigation = Mitigation::None;
+    double razor_coverage = 1.0;        ///< Razor P(detect | corrupted)
+    unsigned razor_replay_cycles = 11;  ///< Razor replay cost per detection
+    unsigned cwc_block_bits = 8;        ///< CWC data bits per protected block
+    unsigned cwc_recovery_cycles = 2;   ///< CWC recovery stall per detection
+
     static ModelSpec a(double flip_probability);
     static ModelSpec b();  ///< B when the base point has sigma = 0, else B+
     static ModelSpec c();
+
+    /// Chainable decorator selectors: ModelSpec::c().with_razor(...).
+    ModelSpec with_razor(double coverage = 1.0,
+                         unsigned replay_cycles = 11) const;
+    ModelSpec with_cwc(unsigned block_bits = 8,
+                       unsigned recovery_cycles = 2) const;
 };
 
 /// Workload executed at every operating point of a panel.

@@ -15,6 +15,41 @@
 
 namespace sfi {
 
+const char* detector_family_name(std::uint8_t fate) {
+    switch (fate) {
+        case kRazorNone: return "none";
+        case kRazorDetected:
+        case kRazorEscaped: return "razor";
+        case kCwcDetected:
+        case kCwcEscaped: return "cwc";
+        default: return "?";
+    }
+}
+
+namespace {
+
+/// Detector family ordinal used as the by_class_detector_ map key —
+/// 0 none, 1 razor, 2 cwc (the map order fixes the artifact row order).
+std::uint8_t detector_family_ordinal(std::uint8_t fate) {
+    switch (fate) {
+        case kRazorDetected:
+        case kRazorEscaped: return 1;
+        case kCwcDetected:
+        case kCwcEscaped: return 2;
+        default: return 0;
+    }
+}
+
+const char* detector_family_ordinal_name(std::uint8_t ordinal) {
+    switch (ordinal) {
+        case 1: return "razor";
+        case 2: return "cwc";
+        default: return "none";
+    }
+}
+
+}  // namespace
+
 const char* outcome_class_name(OutcomeClass cls) {
     switch (cls) {
         case OutcomeClass::Masked: return "masked";
@@ -181,15 +216,20 @@ void ForensicSink::add_trial(std::uint32_t point_id, OutcomeClass cls,
     };
     std::map<std::uint8_t, std::uint64_t> cls_seen, bit_seen;
     std::map<std::uint32_t, std::uint64_t> pc_seen;
+    std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t>
+        cls_detector_seen;
     for (FaultRecord& rec : records) {
         rec.point_id = point_id;
         ++cls_seen[rec.cls];
         ++bit_seen[rec.endpoint];
         ++pc_seen[rec.pc];
+        ++cls_detector_seen[{rec.cls, detector_family_ordinal(rec.razor)}];
     }
     for (const auto& [key, n] : cls_seen) fold(by_class_, key, n);
     for (const auto& [key, n] : bit_seen) fold(by_bit_, key, n);
     for (const auto& [key, n] : pc_seen) fold(by_pc_, key, n);
+    for (const auto& [key, n] : cls_detector_seen)
+        fold(by_class_detector_, key, n);
     for (const std::uint32_t latency : latencies) {
         ++latency_hist_[latency_bucket(latency)];
         ++detections_;
@@ -218,6 +258,11 @@ VulnerabilityReport ForensicSink::report() const {
                      [](const auto& lhs, const auto& rhs) {
                          return lhs.injections > rhs.injections;
                      });
+    for (const auto& [key, tally] : by_class_detector_)
+        report.by_class_detector.push_back(
+            {ex_class_name(static_cast<ExClass>(key.first)),
+             detector_family_ordinal_name(key.second), tally.injections,
+             tally.trials, tally.sdc_trials});
     report.detection_latency_hist = latency_hist_;
     report.detections = detections_;
     return report;
@@ -323,6 +368,19 @@ void ForensicSink::write_artifacts(const std::string& dir) const {
         emit_rows("by_class", rep.by_class);
         emit_rows("by_bit", rep.by_bit);
         emit_rows("by_pc", rep.by_pc);
+        json.key("by_class_detector");
+        json.begin_array();
+        for (const auto& row : rep.by_class_detector) {
+            json.begin_object();
+            json.field("ex_class", row.ex_class);
+            json.field("detector", row.detector);
+            json.field("injections", row.injections);
+            json.field("trials", row.trials);
+            json.field("sdc_trials", row.sdc_trials);
+            json.field("sdc_derating", row.sdc_derating());
+            json.end_object();
+        }
+        json.end_array();
         json.field("detections", rep.detections);
         json.key("detection_latency_hist");
         json.begin_array();
@@ -373,6 +431,22 @@ void ForensicSink::write_artifacts(const std::string& dir) const {
                        rep.by_class);
     write_derating_csv(dir + "/forensics_by_bit.csv", "bit", rep.by_bit);
     write_derating_csv(dir + "/forensics_by_pc.csv", "pc", rep.by_pc);
+
+    {
+        CsvWriter csv(dir + "/forensics_by_class_detector.csv");
+        csv.header({"ex_class", "detector", "injections", "trials",
+                    "sdc_trials", "sdc_derating"});
+        for (const auto& row : rep.by_class_detector) {
+            csv.cell(row.ex_class)
+                .cell(row.detector)
+                .cell(row.injections)
+                .cell(row.trials)
+                .cell(row.sdc_trials)
+                .cell(row.sdc_derating());
+            csv.end_row();
+        }
+        csv.close();
+    }
 
     {
         CsvWriter csv(dir + "/forensics_latency.csv");
@@ -470,6 +544,75 @@ std::map<std::string, ForensicPanelTally> read_forensic_panel_tallies(
         }
     }
     return tallies;
+}
+
+std::vector<ForensicPointRow> read_forensic_points(
+    const std::string& csv_path) {
+    std::vector<ForensicPointRow> rows;
+    std::ifstream is(csv_path);
+    if (!is) return rows;
+    std::string line;
+    if (!std::getline(is, line)) return rows;
+    const std::vector<std::string> header = split_csv_line(line);
+    const auto column = [&header](const std::string& name) -> std::ptrdiff_t {
+        const auto it = std::find(header.begin(), header.end(), name);
+        return it == header.end() ? -1 : it - header.begin();
+    };
+    const std::ptrdiff_t panel_col = column("panel");
+    const std::ptrdiff_t model_col = column("model");
+    const std::ptrdiff_t kernel_col = column("kernel");
+    const std::ptrdiff_t id_col = column("point_id");
+    const std::ptrdiff_t freq_col = column("freq_mhz");
+    const std::ptrdiff_t vdd_col = column("vdd");
+    const std::ptrdiff_t sigma_col = column("sigma_mv");
+    const std::ptrdiff_t trials_col = column("trials");
+    const std::ptrdiff_t finished_col = column("finished");
+    const std::ptrdiff_t correct_col = column("correct");
+    const std::ptrdiff_t injections_col = column("injections");
+    const std::ptrdiff_t detected_col = column("razor_detected");
+    const std::ptrdiff_t escaped_col = column("razor_escaped");
+    if (panel_col < 0 || id_col < 0 || trials_col < 0) return rows;
+    const auto cell = [](const std::vector<std::string>& fields,
+                         std::ptrdiff_t col) -> std::string {
+        return col >= 0 && static_cast<std::size_t>(col) < fields.size()
+                   ? fields[col]
+                   : std::string();
+    };
+    const auto parse_u64 = [](const std::string& text) -> std::uint64_t {
+        try {
+            return std::stoull(text);
+        } catch (const std::exception&) {
+            return 0;
+        }
+    };
+    const auto parse_double = [](const std::string& text) -> double {
+        try {
+            return std::stod(text);
+        } catch (const std::exception&) {
+            return 0.0;
+        }
+    };
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_csv_line(line);
+        ForensicPointRow row;
+        row.panel = cell(fields, panel_col);
+        row.model = cell(fields, model_col);
+        row.kernel = cell(fields, kernel_col);
+        row.point_id =
+            static_cast<std::uint32_t>(parse_u64(cell(fields, id_col)));
+        row.freq_mhz = parse_double(cell(fields, freq_col));
+        row.vdd = parse_double(cell(fields, vdd_col));
+        row.sigma_mv = parse_double(cell(fields, sigma_col));
+        row.trials = parse_u64(cell(fields, trials_col));
+        row.finished = parse_u64(cell(fields, finished_col));
+        row.correct = parse_u64(cell(fields, correct_col));
+        row.injections = parse_u64(cell(fields, injections_col));
+        row.razor_detected = parse_u64(cell(fields, detected_col));
+        row.razor_escaped = parse_u64(cell(fields, escaped_col));
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 }  // namespace sfi

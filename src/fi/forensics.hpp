@@ -31,6 +31,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/cpu.hpp"
@@ -59,10 +60,18 @@ constexpr std::size_t kOutcomeClassCount =
 /// "detected") used in every artifact.
 const char* outcome_class_name(OutcomeClass cls);
 
-/// Razor fate of a record (FaultRecord::razor).
+/// Detector fate of a record (FaultRecord::razor — the field keeps its
+/// original name for stream compatibility; values 3/4 extend the
+/// vocabulary for the constant-weight-code detector without disturbing
+/// the pinned Razor encodings).
 inline constexpr std::uint8_t kRazorNone = 0;      ///< no detection stage
 inline constexpr std::uint8_t kRazorDetected = 1;  ///< detected & replayed
 inline constexpr std::uint8_t kRazorEscaped = 2;   ///< escaped detection
+inline constexpr std::uint8_t kCwcDetected = 3;    ///< CWC weight violation caught
+inline constexpr std::uint8_t kCwcEscaped = 4;     ///< balanced flip escaped CWC
+
+/// Detector family a fate byte belongs to ("none", "razor", "cwc").
+const char* detector_family_name(std::uint8_t fate);
 
 /// One injected endpoint violation. Serialized little-endian in exactly
 /// this field order (kFaultRecordBytes, no padding bytes written); the
@@ -148,7 +157,28 @@ public:
     /// the op produced and, on detection, logs the latency from the
     /// trial's first injection to this detection (cycles, >= 0).
     void mark_razor(bool detected) {
-        const std::uint8_t fate = detected ? kRazorDetected : kRazorEscaped;
+        mark_detector(detected, kRazorDetected, kRazorEscaped);
+    }
+
+    /// CWC verdict for the current op — same stamping and counters as
+    /// mark_razor, different fate vocabulary, so classify_trial and the
+    /// taxonomy checks treat both detector families uniformly.
+    void mark_cwc(bool detected) {
+        mark_detector(detected, kCwcDetected, kCwcEscaped);
+    }
+
+    std::uint32_t detected() const { return detected_; }
+    std::uint32_t escaped() const { return escaped_; }
+    const std::vector<FaultRecord>& records() const { return records_; }
+    std::vector<FaultRecord> take_records() { return std::move(records_); }
+    std::vector<std::uint32_t> take_latencies() {
+        return std::move(latencies_);
+    }
+
+private:
+    void mark_detector(bool detected, std::uint8_t fate_detected,
+                       std::uint8_t fate_escaped) {
+        const std::uint8_t fate = detected ? fate_detected : fate_escaped;
         for (std::size_t i = op_watermark_; i < records_.size(); ++i)
             records_[i].razor = fate;
         if (detected) {
@@ -161,15 +191,6 @@ public:
         }
     }
 
-    std::uint32_t detected() const { return detected_; }
-    std::uint32_t escaped() const { return escaped_; }
-    const std::vector<FaultRecord>& records() const { return records_; }
-    std::vector<FaultRecord> take_records() { return std::move(records_); }
-    std::vector<std::uint32_t> take_latencies() {
-        return std::move(latencies_);
-    }
-
-private:
     std::vector<FaultRecord> records_;
     std::vector<std::uint32_t> latencies_;  ///< one per detection, cycles
     std::uint32_t detected_ = 0;
@@ -221,9 +242,27 @@ struct VulnerabilityReport {
         }
     };
 
+    /// One derating row split by detector family: the by_class table
+    /// refined by which detection stage (none / razor / cwc) saw the
+    /// injections — the per-class derating split the mitigation
+    /// comparison campaign reads.
+    struct DetectorDeratingRow {
+        std::string ex_class;
+        std::string detector;  ///< detector_family_name of the fate bytes
+        std::uint64_t injections = 0;
+        std::uint64_t trials = 0;
+        std::uint64_t sdc_trials = 0;
+        double sdc_derating() const {
+            return trials ? static_cast<double>(sdc_trials) /
+                                static_cast<double>(trials)
+                          : 0.0;
+        }
+    };
+
     std::vector<DeratingRow> by_class;  ///< ExClass order
     std::vector<DeratingRow> by_bit;    ///< endpoint bit order
     std::vector<DeratingRow> by_pc;     ///< hotspots, injections descending
+    std::vector<DetectorDeratingRow> by_class_detector;  ///< (class, family)
     std::array<std::uint64_t, kLatencyBuckets> detection_latency_hist{};
     std::uint64_t detections = 0;
 };
@@ -277,6 +316,9 @@ private:
     std::map<std::uint8_t, KeyTally> by_class_;
     std::map<std::uint8_t, KeyTally> by_bit_;
     std::map<std::uint32_t, KeyTally> by_pc_;
+    /// (ExClass, detector family ordinal 0 none / 1 razor / 2 cwc).
+    std::map<std::pair<std::uint8_t, std::uint8_t>, KeyTally>
+        by_class_detector_;
     std::array<std::uint64_t, kLatencyBuckets> latency_hist_{};
     std::uint64_t detections_ = 0;
 };
@@ -291,6 +333,34 @@ struct ForensicPanelTally {
 };
 
 std::map<std::string, ForensicPanelTally> read_forensic_panel_tallies(
+    const std::string& csv_path);
+
+/// One forensics_points.csv row parsed back in file order — the join key
+/// bench_cwc_compare uses to pair per-point detector counters with the
+/// in-memory campaign sweeps (panel + point order). The detector counters
+/// cover both families: a CWC stage feeds the same probe counters Razor
+/// does, so "razor_detected"/"razor_escaped" read as "detector
+/// detected/escaped" under a CWC panel.
+struct ForensicPointRow {
+    std::string panel;
+    std::string model;
+    std::string kernel;
+    std::uint32_t point_id = 0;
+    double freq_mhz = 0.0;
+    double vdd = 0.0;
+    double sigma_mv = 0.0;
+    std::uint64_t trials = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t correct = 0;
+    std::uint64_t injections = 0;
+    std::uint64_t razor_detected = 0;
+    std::uint64_t razor_escaped = 0;
+};
+
+/// Reads forensics_points.csv rows in file order. Tolerant like
+/// read_forensic_panel_tallies: a missing/malformed file returns an
+/// empty vector rather than throwing.
+std::vector<ForensicPointRow> read_forensic_points(
     const std::string& csv_path);
 
 }  // namespace sfi

@@ -15,7 +15,7 @@ ErrorDetectionModel::ErrorDetectionModel(std::unique_ptr<FaultModel> inner,
 }
 
 ErrorDetectionModel::ErrorDetectionModel(const ErrorDetectionModel& other)
-    : FaultModel(other),
+    : DetectionModel(other),
       inner_(other.inner_->clone()),
       config_(other.config_),
       detected_(other.detected_),

@@ -20,9 +20,32 @@ namespace sfi {
 struct RazorConfig {
     double detection_coverage = 1.0;    ///< P(detect | corrupted result)
     unsigned replay_penalty_cycles = 11;  ///< pipeline replay cost per detection
+    /// Shadow-latch + control switching energy relative to the bare core
+    /// (Ernst et al. report ~3% total power for Razor I).
+    double energy_overhead_frac = 0.03;
 };
 
-class ErrorDetectionModel final : public FaultModel {
+/// Common face of every error-detection decorator (Razor replay,
+/// constant-weight codes, ...). A detector wraps an inner FaultModel,
+/// turns some corruptions into detections, and answers for its own
+/// throughput cost — which is all the campaign/bench layers need, so a
+/// new mitigation model only has to derive from this and pass the shared
+/// contract suite (tests/fi/test_mitigation_contract.cpp).
+class DetectionModel : public FaultModel {
+public:
+    /// Corruptions caught (architecturally clean after recovery).
+    virtual std::uint64_t detected() const = 0;
+    /// Corruptions that escaped to the application.
+    virtual std::uint64_t escaped() const = 0;
+    /// Throughput at clock `f_mhz` given the recovery overhead this
+    /// detector accumulated over `kernel_cycles` of execution.
+    virtual double effective_mhz(double f_mhz,
+                                 std::uint64_t kernel_cycles) const = 0;
+    /// Clears the detection/escape counters (not the inner model's stats).
+    virtual void reset_mitigation_stats() = 0;
+};
+
+class ErrorDetectionModel final : public DetectionModel {
 public:
     ErrorDetectionModel(std::unique_ptr<FaultModel> inner, RazorConfig config);
 
@@ -34,17 +57,19 @@ public:
     std::unique_ptr<FaultModel> clone() const override;
 
     const FaultModel& inner() const { return *inner_; }
-    std::uint64_t detected() const { return detected_; }
-    std::uint64_t escaped() const { return escaped_; }
+    const RazorConfig& config() const { return config_; }
+    std::uint64_t detected() const override { return detected_; }
+    std::uint64_t escaped() const override { return escaped_; }
     /// Extra cycles spent replaying detected errors.
     std::uint64_t replay_cycles() const {
         return detected_ * config_.replay_penalty_cycles;
     }
     /// Effective throughput at clock `f_mhz` given the replay overhead
     /// accumulated over `kernel_cycles` of execution.
-    double effective_mhz(double f_mhz, std::uint64_t kernel_cycles) const;
+    double effective_mhz(double f_mhz,
+                         std::uint64_t kernel_cycles) const override;
 
-    void reset_mitigation_stats() { detected_ = escaped_ = 0; }
+    void reset_mitigation_stats() override { detected_ = escaped_ = 0; }
 
     /// Reseeds both the detection draw stream and the inner fault model.
     void reseed(std::uint64_t seed) override {

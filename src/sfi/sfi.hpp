@@ -25,6 +25,7 @@
 #include "cpu/memory.hpp"
 #include "fi/cdf.hpp"
 #include "fi/core_model.hpp"
+#include "fi/cwc.hpp"
 #include "fi/forensics.hpp"
 #include "fi/mitigation.hpp"
 #include "fi/models.hpp"
